@@ -1,0 +1,102 @@
+// Command cnfetyield regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cnfetyield [flags] <experiment|all>
+//
+// Experiments: fig2.1 fig2.2a fig2.2b table1 fig3.1 fig3.2 fig3.3 table2
+//
+// Output goes to stdout; -out writes the CSV and SVG artifacts of each
+// experiment into a directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/cnfet/yieldlab"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cnfetyield:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		outDir    = flag.String("out", "", "directory for CSV/SVG artifacts (created if missing)")
+		seed      = flag.Uint64("seed", 0, "Monte Carlo root seed (0 = frozen default)")
+		rounds    = flag.Int("rounds", 0, "Table 1 Monte Carlo rounds (0 = default 200000)")
+		instances = flag.Int("instances", 0, "synthetic netlist instances (0 = default 20000)")
+		workers   = flag.Int("workers", 0, "Monte Carlo workers (0 = NumCPU)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: cnfetyield [flags] <experiment|all>\nexperiments: %s\nextensions: ext-noise ext-pitch\nflags:\n",
+			strings.Join(yieldlab.ExperimentNames(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("expected one experiment name, got %d args", flag.NArg())
+	}
+	target := flag.Arg(0)
+
+	params := yieldlab.DefaultParams()
+	if *seed != 0 {
+		params.Seed = *seed
+	}
+	if *rounds != 0 {
+		params.MCRounds = *rounds
+	}
+	if *instances != 0 {
+		params.NetlistInstances = *instances
+	}
+	params.Workers = *workers
+	runner := yieldlab.NewRunner(params)
+
+	names := []string{target}
+	if target == "all" {
+		names = yieldlab.ExperimentNames()
+	}
+	for _, name := range names {
+		res, err := runner.Run(name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("=== %s ===\n%s\n", name, res.Text())
+		if *outDir != "" {
+			if err := writeArtifacts(*outDir, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeArtifacts(dir string, res *yieldlab.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := make(map[string]string, len(res.CSVs)+len(res.SVGs))
+	for name, content := range res.CSVs {
+		files[name] = content
+	}
+	for name, content := range res.SVGs {
+		files[name] = content
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

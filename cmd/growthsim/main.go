@@ -1,0 +1,68 @@
+// Command growthsim simulates CNT growth and measures how strongly two
+// CNFETs share CNT statistics as a function of their separation — the
+// physical premise of the paper's Section 3 (Fig. 3.1).
+//
+// Usage:
+//
+//	growthsim [-mode directional|sticks] [-width 60] [-rounds 500] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cnfet/yieldlab"
+	"github.com/cnfet/yieldlab/internal/cntgrowth"
+	"github.com/cnfet/yieldlab/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "growthsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mode   = flag.String("mode", "directional", "growth mode: directional or sticks")
+		width  = flag.Float64("width", 60, "CNFET width in nm")
+		rounds = flag.Int("rounds", 500, "Monte Carlo growth realizations per separation")
+		seed   = flag.Uint64("seed", rng.DefaultSeed, "root seed")
+	)
+	flag.Parse()
+
+	pitch, err := yieldlab.CalibratedPitch()
+	if err != nil {
+		return err
+	}
+	var grower cntgrowth.Grower
+	switch *mode {
+	case "directional":
+		grower = cntgrowth.Directional{Pitch: pitch, PMetallic: 0.33, LengthNM: 200_000}
+	case "sticks":
+		grower = cntgrowth.Uncorrelated{DensityPerUM2: 2200, PMetallic: 0.33, LengthNM: 450, AngleSpreadRad: 0.15}
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	removal := cntgrowth.Removal{PRemoveMetallic: 1, PRemoveSemi: 0.30}
+
+	fmt.Printf("mode=%s width=%.0fnm rounds=%d\n", *mode, *width, *rounds)
+	fmt.Printf("%-14s %-12s %-12s %-12s %-10s\n", "separation", "count corr", "usable corr", "shared frac", "mean N")
+	fet1 := cntgrowth.Rect{X0: 100, Y0: 300, X1: 160, Y1: 300 + *width}
+	for i, sepUM := range []float64{0.2, 0.5, 1, 2, 5} {
+		sep := sepUM * 1000
+		fet2 := cntgrowth.Rect{X0: 100 + sep, Y0: 300, X1: 160 + sep, Y1: 300 + *width}
+		r := rng.Derive(*seed, uint64(i))
+		s, err := cntgrowth.MeasurePairCorrelation(r, grower, removal, fet1, fet2, *rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %-12.3f %-12.3f %-12.3f %-10.1f\n",
+			fmt.Sprintf("%.1f µm", sepUM), s.CountCorr, s.UsableCorr, s.SharedFrac, s.MeanCount)
+	}
+	fmt.Println("\naligned FETs under directional growth share CNTs until the separation")
+	fmt.Println("approaches LCNT (200 µm); dispersed sticks never share.")
+	return nil
+}

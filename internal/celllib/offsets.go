@@ -1,0 +1,54 @@
+package celllib
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/cnfet/yieldlab/internal/rowyield"
+)
+
+// CriticalNFETOffsets extracts the lateral offset distribution of critical
+// (below-Wmin) n-type devices across a library, weighted by per-cell usage
+// counts (nil usage weighs every cell equally). This is the OffsetDist that
+// drives the DirectionalUnaligned scenario of Table 1: the more lateral
+// positions the library scatters its small devices over, the less CNT
+// sharing an unmodified library gets for free.
+func CriticalNFETOffsets(lib *Library, usage map[string]float64, wminNM float64) (rowyield.OffsetDist, error) {
+	if lib == nil {
+		return rowyield.OffsetDist{}, errors.New("celllib: nil library")
+	}
+	if !(wminNM > 0) {
+		return rowyield.OffsetDist{}, fmt.Errorf("celllib: Wmin %g must be positive", wminNM)
+	}
+	weights := make(map[float64]float64)
+	for i := range lib.Cells {
+		c := &lib.Cells[i]
+		w := 1.0
+		if usage != nil {
+			w = usage[c.Name]
+			if w == 0 {
+				continue
+			}
+		}
+		for _, t := range c.Transistors {
+			if t.Type != NFET || t.WidthNM >= wminNM {
+				continue
+			}
+			weights[t.YOffsetNM] += w
+		}
+	}
+	if len(weights) == 0 {
+		return rowyield.OffsetDist{}, errors.New("celllib: no critical n-type devices below Wmin")
+	}
+	offsets := make([]float64, 0, len(weights))
+	for off := range weights {
+		offsets = append(offsets, off)
+	}
+	sort.Float64s(offsets)
+	probs := make([]float64, len(offsets))
+	for i, off := range offsets {
+		probs[i] = weights[off]
+	}
+	return rowyield.NewOffsetDist(offsets, probs)
+}

@@ -1,0 +1,161 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/cnfet/yieldlab/internal/dist"
+	"github.com/cnfet/yieldlab/internal/stat"
+)
+
+// CurrentModel is a first-order CNFET drive-current model used to
+// demonstrate the statistical-averaging property the paper builds on
+// ([Raychowdhury 09, Zhang 09a/b]): the on-current of a CNFET is the sum of
+// per-CNT currents, so σ(Ion)/μ(Ion) falls as 1/√N with the CNT count N.
+//
+// Per-CNT current varies with CNT diameter: Ion,CNT ≈ Gon·(d - d0) for
+// d above the conduction threshold d0, a standard linearization of the
+// diameter dependence of CNFET drive current.
+type CurrentModel struct {
+	// DiameterMu and DiameterSigma describe the grown CNT diameter
+	// distribution in nm (typical CVD growth: 1.5 ± 0.3 nm).
+	DiameterMu    float64
+	DiameterSigma float64
+	// DiameterMin truncates unphysical diameters.
+	DiameterMin float64
+	// GonPerNM is the on-conductance slope in µA per nm of diameter above
+	// threshold.
+	GonPerNM float64
+	// DiameterThreshold is d0, the diameter below which a (semiconducting)
+	// CNT contributes negligible current.
+	DiameterThreshold float64
+}
+
+// DefaultCurrentModel returns parameters representative of 45 nm-class
+// CNFETs (per-CNT on-current of a few µA at d = 1.5 nm).
+func DefaultCurrentModel() CurrentModel {
+	return CurrentModel{
+		DiameterMu:        1.5,
+		DiameterSigma:     0.3,
+		DiameterMin:       0.6,
+		GonPerNM:          8.0,
+		DiameterThreshold: 0.7,
+	}
+}
+
+// Validate checks parameter sanity.
+func (c CurrentModel) Validate() error {
+	if !(c.DiameterMu > 0) || !(c.DiameterSigma > 0) {
+		return fmt.Errorf("device: diameter distribution (%g, %g) invalid", c.DiameterMu, c.DiameterSigma)
+	}
+	if c.DiameterMin < 0 || c.DiameterMin >= c.DiameterMu {
+		return fmt.Errorf("device: diameter minimum %g invalid for mean %g", c.DiameterMin, c.DiameterMu)
+	}
+	if !(c.GonPerNM > 0) {
+		return fmt.Errorf("device: conductance slope %g must be positive", c.GonPerNM)
+	}
+	return nil
+}
+
+// diameterDist builds the truncated diameter law.
+func (c CurrentModel) diameterDist() (dist.TruncNormal, error) {
+	return dist.NewTruncNormal(c.DiameterMu, c.DiameterSigma, c.DiameterMin, math.Inf(1))
+}
+
+// SampleCNTCurrent draws the on-current contribution of a single
+// semiconducting CNT in µA.
+func (c CurrentModel) SampleCNTCurrent(r *rand.Rand) (float64, error) {
+	d, err := c.diameterDist()
+	if err != nil {
+		return 0, err
+	}
+	dia := d.Sample(r)
+	i := c.GonPerNM * (dia - c.DiameterThreshold)
+	if i < 0 {
+		i = 0
+	}
+	return i, nil
+}
+
+// SampleDeviceCurrent draws the total on-current of a device with n
+// conducting CNTs.
+func (c CurrentModel) SampleDeviceCurrent(r *rand.Rand, n int) (float64, error) {
+	var total float64
+	for i := 0; i < n; i++ {
+		cur, err := c.SampleCNTCurrent(r)
+		if err != nil {
+			return 0, err
+		}
+		total += cur
+	}
+	return total, nil
+}
+
+// IonStats estimates the mean and coefficient of variation of the device
+// on-current when the conducting-CNT count follows countPMF, using trials
+// Monte Carlo samples. It returns (mean µA, cv).
+func (c CurrentModel) IonStats(r *rand.Rand, countPMF dist.PMF, trials int) (mean, cv float64, err error) {
+	if trials <= 1 {
+		return 0, 0, fmt.Errorf("device: need at least 2 trials, got %d", trials)
+	}
+	if err := c.Validate(); err != nil {
+		return 0, 0, err
+	}
+	var w stat.Welford
+	for i := 0; i < trials; i++ {
+		n := countPMF.Sample(r)
+		ion, err := c.SampleDeviceCurrent(r, n)
+		if err != nil {
+			return 0, 0, err
+		}
+		w.Add(ion)
+	}
+	m := w.Mean()
+	if m == 0 {
+		return 0, math.Inf(1), nil
+	}
+	return m, w.StdDev() / m, nil
+}
+
+// AveragingLawCV returns the predicted σ(Ion)/μ(Ion) for a device with a
+// fixed count n, from the closed-form per-CNT current moments:
+// cv(n) = cv(1)/√n. This is the 1/√N statistical-averaging law.
+func (c CurrentModel) AveragingLawCV(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("device: count must be positive, got %d", n)
+	}
+	cv1, err := c.perCNTCV()
+	if err != nil {
+		return 0, err
+	}
+	return cv1 / math.Sqrt(float64(n)), nil
+}
+
+// perCNTCV computes the per-CNT current CV by quadrature over the diameter
+// law (clipping at the conduction threshold).
+func (c CurrentModel) perCNTCV() (float64, error) {
+	d, err := c.diameterDist()
+	if err != nil {
+		return 0, err
+	}
+	// Moments of max(0, Gon·(D-d0)) by dense quantile sampling: exact
+	// enough and independent of the RNG.
+	const n = 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		p := (float64(i) + 0.5) / n
+		v := c.GonPerNM * (d.Quantile(p) - c.DiameterThreshold)
+		if v < 0 {
+			v = 0
+		}
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if mean <= 0 {
+		return 0, fmt.Errorf("device: per-CNT current mean non-positive")
+	}
+	return math.Sqrt(math.Max(variance, 0)) / mean, nil
+}

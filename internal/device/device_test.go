@@ -1,0 +1,354 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/cnfet/yieldlab/internal/dist"
+	"github.com/cnfet/yieldlab/internal/renewal"
+	"github.com/cnfet/yieldlab/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func testModel(t *testing.T, params FailureParams, maxW float64) *FailureModel {
+	t.Helper()
+	m, err := NewCalibratedModel(params, renewal.WithStep(0.1), renewal.WithMaxWidth(maxW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPerCNTFailureEq21(t *testing.T) {
+	p := FailureParams{PMetallic: 0.33, PRemoveSemi: 0.30, PRemoveMetallic: 1}
+	if got := p.PerCNTFailure(); !almost(got, 0.33+0.67*0.30, 1e-15) {
+		t.Fatalf("pf = %v", got)
+	}
+	clean := FailureParams{PRemoveMetallic: 1}
+	if clean.PerCNTFailure() != 0 {
+		t.Fatal("perfect process should have pf = 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []FailureParams{
+		{PMetallic: -0.1},
+		{PMetallic: 1.1},
+		{PRemoveSemi: 2},
+		{PRemoveMetallic: math.NaN()},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("expected error for %+v", p)
+		}
+	}
+	if err := WorstCorner().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperCorners(t *testing.T) {
+	cs := PaperCorners()
+	if len(cs) != 3 {
+		t.Fatalf("corners: %d", len(cs))
+	}
+	// Worst first: pf strictly decreasing.
+	for i := 1; i < len(cs); i++ {
+		if cs[i].Params.PerCNTFailure() >= cs[i-1].Params.PerCNTFailure() {
+			t.Fatal("corners not ordered worst-first")
+		}
+	}
+	if cs[2].Params.PerCNTFailure() != 0 {
+		t.Fatal("clean corner should have pf = 0")
+	}
+}
+
+func TestNewFailureModelValidation(t *testing.T) {
+	if _, err := NewFailureModel(nil, WorstCorner()); err == nil {
+		t.Error("nil count model")
+	}
+	if _, err := NewCalibratedModel(FailureParams{PMetallic: 2}); err == nil {
+		t.Error("invalid params")
+	}
+}
+
+// The calibration regression: the worst corner must pass through the
+// published Fig. 2.1 anchor pF(155 nm) ≈ 3.0e-9 within a factor 1.5, and
+// the chip-level construction below must reproduce Wmin ≈ 155 nm.
+func TestCalibrationAnchor(t *testing.T) {
+	m, err := NewCalibratedModel(WorstCorner(), renewal.WithStep(0.05), renewal.WithMaxWidth(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p155, err := m.FailureProb(155)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p155 < 3.0e-9/1.5 || p155 > 3.0e-9*1.5 {
+		t.Fatalf("pF(155) = %.3e, want ≈ 3.0e-9 (calibration drifted)", p155)
+	}
+	wmin, err := m.WidthForFailureProb(0.1 / 33e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wmin < 150 || wmin > 160 {
+		t.Fatalf("Wmin = %.1f, want ≈ 155 (paper case study)", wmin)
+	}
+}
+
+func TestFailureProbMonotoneInWidth(t *testing.T) {
+	m := testModel(t, WorstCorner(), 160)
+	prev := 1.1
+	for _, w := range []float64{20, 40, 80, 120, 155} {
+		p, err := m.FailureProb(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p >= prev {
+			t.Fatalf("pF not decreasing at W=%v: %v >= %v", w, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestFailureProbsBatch(t *testing.T) {
+	m := testModel(t, WorstCorner(), 160)
+	ws := []float64{30, 60, 120}
+	batch, err := m.FailureProbs(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range ws {
+		single, err := m.FailureProb(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(batch[i], single, 1e-15) {
+			t.Fatalf("batch/single mismatch at %v: %v vs %v", w, batch[i], single)
+		}
+	}
+}
+
+func TestCleanCornerOnlyEmptyChannelFails(t *testing.T) {
+	m := testModel(t, PaperCorners()[2].Params, 160)
+	pmf, err := m.CountModel().CountPMF(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.FailureProb(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p, pmf.Prob(0), 1e-15) {
+		t.Fatalf("pf=0 should reduce to P(N=0): %v vs %v", p, pmf.Prob(0))
+	}
+}
+
+func TestWidthForFailureProbInverts(t *testing.T) {
+	m := testModel(t, WorstCorner(), 200)
+	for _, target := range []float64{1e-3, 1e-6, 3.03e-9} {
+		w, err := m.WidthForFailureProb(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.FailureProb(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(math.Log(p)-math.Log(target)) > 0.05 {
+			t.Fatalf("target %v: W=%v gives pF=%v", target, w, p)
+		}
+	}
+}
+
+func TestWidthForFailureProbErrors(t *testing.T) {
+	m := testModel(t, WorstCorner(), 100)
+	if _, err := m.WidthForFailureProb(0); err == nil {
+		t.Error("target 0")
+	}
+	if _, err := m.WidthForFailureProb(1); err == nil {
+		t.Error("target 1")
+	}
+	if _, err := m.WidthForFailureProb(1e-30); err == nil {
+		t.Error("unreachable target within 100nm should error")
+	}
+}
+
+// Monte Carlo cross-check of Eq. 2.2 at a small width where failures are
+// common: simulate pitch draws and per-CNT coin flips directly.
+func TestFailureProbMatchesDirectMC(t *testing.T) {
+	params := WorstCorner()
+	m := testModel(t, params, 60)
+	const w = 14.0
+	want, err := m.FailureProb(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pitch, err := CalibratedPitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := params.PerCNTFailure()
+	r := rng.New(31)
+	const trials = 120_000
+	fails := 0
+	for i := 0; i < trials; i++ {
+		// Equilibrium window start via burn-in.
+		x := 0.0
+		for j := 0; j < 60; j++ {
+			x += pitch.Sample(r)
+		}
+		origin := x + r.Float64()*16
+		for x < origin {
+			x += pitch.Sample(r)
+		}
+		ok := false
+		for x < origin+w {
+			if r.Float64() >= pf {
+				ok = true
+			}
+			x += pitch.Sample(r)
+		}
+		if !ok {
+			fails++
+		}
+	}
+	got := float64(fails) / trials
+	se := math.Sqrt(want * (1 - want) / trials)
+	if math.Abs(got-want) > 5*se+0.002 {
+		t.Fatalf("MC pF(%v) = %v, analytic %v (se %v)", w, got, want, se)
+	}
+}
+
+func TestSurvivingMetallicPMF(t *testing.T) {
+	// pRm = 0.9: 10% of metallic CNTs survive.
+	params := FailureParams{PMetallic: 0.33, PRemoveSemi: 0.3, PRemoveMetallic: 0.9}
+	m := testModel(t, params, 80)
+	pmf, err := m.SurvivingMetallicPMF(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(pmf.TotalMass(), 1, 1e-9) {
+		t.Fatalf("mass: %v", pmf.TotalMass())
+	}
+	count, err := m.CountModel().CountPMF(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := count.Mean() * 0.33 * 0.1
+	if !almost(pmf.Mean(), wantMean, 1e-6*wantMean+1e-9) {
+		t.Fatalf("mean surviving m-CNTs %v want %v", pmf.Mean(), wantMean)
+	}
+	// Perfect removal leaves none.
+	perfect := testModel(t, WorstCorner(), 80)
+	pmf2, err := perfect.SurvivingMetallicPMF(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pmf2.Prob(0) != 1 {
+		t.Fatalf("pRm=1 should leave zero m-CNTs, got %v", pmf2.P[:3])
+	}
+}
+
+// Property: pF decreases when pf decreases (better processing helps), for
+// any width.
+func TestQuickFailureProbMonotoneInPf(t *testing.T) {
+	pitch, err := CalibratedPitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := renewal.New(pitch, renewal.WithStep(0.1), renewal.WithMaxWidth(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seedRaw uint16) bool {
+		r := rng.New(uint64(seedRaw))
+		w := 10 + r.Float64()*100
+		pm1 := r.Float64() * 0.5
+		pm2 := pm1 + r.Float64()*(0.5-pm1)*0.9
+		m1, err1 := NewFailureModel(count, FailureParams{PMetallic: pm1, PRemoveSemi: 0.2, PRemoveMetallic: 1})
+		m2, err2 := NewFailureModel(count, FailureParams{PMetallic: pm2, PRemoveSemi: 0.2, PRemoveMetallic: 1})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		p1, e1 := m1.FailureProb(w)
+		p2, e2 := m2.FailureProb(w)
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		return p1 <= p2+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurrentModelValidation(t *testing.T) {
+	c := DefaultCurrentModel()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.DiameterSigma = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative sigma")
+	}
+	c = DefaultCurrentModel()
+	c.DiameterMin = 2
+	if err := c.Validate(); err == nil {
+		t.Error("min above mean")
+	}
+	c = DefaultCurrentModel()
+	c.GonPerNM = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero slope")
+	}
+}
+
+// The statistical-averaging law: CV of device current falls as 1/√N.
+func TestAveragingLaw(t *testing.T) {
+	c := DefaultCurrentModel()
+	r := rng.New(5)
+	cv1, err := c.AveragingLawCV(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 4, 16, 64} {
+		pmf, err := dist.PointPMF(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cv, err := c.IonStats(r, pmf, 30_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cv1 / math.Sqrt(float64(n))
+		if math.Abs(cv-want)/want > 0.12 {
+			t.Errorf("N=%d: cv %v want %v (1/√N law)", n, cv, want)
+		}
+	}
+	if _, err := c.AveragingLawCV(0); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestIonStatsErrors(t *testing.T) {
+	c := DefaultCurrentModel()
+	pmf, _ := dist.PointPMF(4)
+	if _, _, err := c.IonStats(rng.New(1), pmf, 1); err == nil {
+		t.Error("too few trials")
+	}
+	c.GonPerNM = -1
+	if _, _, err := c.IonStats(rng.New(1), pmf, 100); err == nil {
+		t.Error("invalid model")
+	}
+}
+
+func TestSampleDeviceCurrentZeroCNTs(t *testing.T) {
+	c := DefaultCurrentModel()
+	ion, err := c.SampleDeviceCurrent(rng.New(2), 0)
+	if err != nil || ion != 0 {
+		t.Fatalf("zero CNTs: %v, %v", ion, err)
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/cnfet/yieldlab/internal/device"
+	"github.com/cnfet/yieldlab/internal/dist"
+	"github.com/cnfet/yieldlab/internal/noisemargin"
+	"github.com/cnfet/yieldlab/internal/renewal"
+	"github.com/cnfet/yieldlab/internal/report"
+	"github.com/cnfet/yieldlab/internal/yield"
+)
+
+// ExtensionNames lists the non-paper extension experiments.
+func ExtensionNames() []string { return []string{"ext-noise", "ext-pitch"} }
+
+// ExtNoiseMargin evaluates the failure mode the paper cites but excludes
+// from count-limited yield: noise-margin violations from metallic CNTs that
+// survive removal ([Zhang 09b]). It reproduces the quoted requirement that
+// practical VLSI needs pRm beyond 99.99%.
+func (r *Runner) ExtNoiseMargin() (*Result, error) {
+	model, err := r.failureModel()
+	if err != nil {
+		return nil, err
+	}
+	params := noisemargin.Params{
+		PMetallic:       device.WorstCorner().PMetallic,
+		PRemoveMetallic: 0.9999,
+		PRemoveSemi:     device.WorstCorner().PRemoveSemi,
+		RatioThreshold:  noisemargin.DefaultRatioThreshold,
+	}
+	table := &report.Table{
+		Title: fmt.Sprintf("Extension — noise-limited yield from surviving m-CNTs (pRm=%.4f, ρ=%.2f)",
+			params.PRemoveMetallic, params.RatioThreshold),
+		Columns: []string{"W (nm)", "violation prob", "chip yield (1e8 gates)", "required pRm for 90%"},
+	}
+	cmp := &report.ComparisonSet{Name: "ext-noise"}
+	var req155 float64
+	for _, w := range []float64{103, 155, 250} {
+		pmf, err := model.CountModel().CountPMF(w)
+		if err != nil {
+			return nil, err
+		}
+		v, err := noisemargin.ViolationProb(pmf, params)
+		if err != nil {
+			return nil, err
+		}
+		y, err := noisemargin.ChipNoiseYield(v, r.params.M)
+		if err != nil {
+			return nil, err
+		}
+		req, err := noisemargin.RequiredPRm(pmf, params, r.params.M, r.params.DesiredYield)
+		if err != nil {
+			return nil, err
+		}
+		if w == 155 {
+			req155 = req
+		}
+		if err := table.AddRow(
+			fmt.Sprintf("%.0f", w),
+			fmt.Sprintf("%.2e", v),
+			fmt.Sprintf("%.4f", y),
+			fmt.Sprintf("1-%.1e", 1-req),
+		); err != nil {
+			return nil, err
+		}
+	}
+	table.AddNote("the paper (citing [Zhang 09b]): pRm > 99.99%% is required for practical VLSI")
+	cmp.Add(report.Comparison{Artifact: "Sec. 2.1 (cited)", Quantity: "required pRm at 155 nm",
+		Paper: 0.9999, Measured: req155, TolFactor: 1.001})
+	return &Result{Name: "ext-noise", Table: table, Comparisons: cmp}, nil
+}
+
+// ExtPitchAblation compares the device failure model across pitch laws
+// with the same 4 nm mean: the calibrated truncated normal, the memoryless
+// exponential (Poisson counting) and the deterministic pitch — quantifying
+// how much of the yield problem is density variation rather than mean
+// density.
+func (r *Runner) ExtPitchAblation() (*Result, error) {
+	if err := r.params.Validate(); err != nil {
+		return nil, err
+	}
+	calibrated, err := device.CalibratedPitch()
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		name  string
+		pitch dist.Continuous
+	}{
+		{"calibrated truncated normal", calibrated},
+		{"exponential (Poisson counting)", dist.Exponential{Rate: 1 / device.MeanPitchNM}},
+		{"deterministic 4 nm pitch", dist.Deterministic{V: device.MeanPitchNM}},
+	}
+	table := &report.Table{
+		Title:   "Extension — pitch-law ablation (worst corner, mean pitch 4 nm)",
+		Columns: []string{"pitch law", "σ/μ", "pF(103)", "pF(155)", "Wmin (nm)"},
+	}
+	cmp := &report.ComparisonSet{Name: "ext-pitch"}
+	req, err := yield.RequiredDevicePF(0.33*r.params.M, r.params.DesiredYield)
+	if err != nil {
+		return nil, err
+	}
+	for _, tc := range cases {
+		count, err := renewal.New(tc.pitch, renewal.WithStep(r.params.GridStepNM),
+			renewal.WithMaxWidth(r.params.MaxWidthNM))
+		if err != nil {
+			return nil, err
+		}
+		m, err := device.NewFailureModel(count, device.WorstCorner())
+		if err != nil {
+			return nil, err
+		}
+		ps, err := m.FailureProbs([]float64{103, 155})
+		if err != nil {
+			return nil, err
+		}
+		wmin, err := m.WidthForFailureProb(req)
+		if err != nil {
+			return nil, err
+		}
+		ratio := tc.pitch.StdDev() / tc.pitch.Mean()
+		if err := table.AddRow(
+			tc.name,
+			fmt.Sprintf("%.2f", ratio),
+			fmt.Sprintf("%.2e", ps[0]),
+			fmt.Sprintf("%.2e", ps[1]),
+			fmt.Sprintf("%.1f", wmin),
+		); err != nil {
+			return nil, err
+		}
+		cmp.Add(report.Comparison{Artifact: "ablation", Quantity: "Wmin under " + tc.name,
+			Paper: math.NaN(), Measured: wmin, Unit: "nm"})
+	}
+	table.AddNote("density variation, not mean density, sets the yield floor: the")
+	table.AddNote("deterministic pitch would need far narrower devices for the same budget")
+	return &Result{Name: "ext-pitch", Table: table, Comparisons: cmp}, nil
+}

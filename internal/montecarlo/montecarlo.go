@@ -1,0 +1,123 @@
+// Package montecarlo is the parallel experiment engine: it fans a
+// deterministic simulation function out over worker goroutines, each with
+// an independently derived random stream, and merges the per-worker moment
+// accumulators. Results are reproducible from a single root seed and do not
+// depend on the worker count (each round's stream is derived from the round
+// index, not the worker).
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/cnfet/yieldlab/internal/rng"
+	"github.com/cnfet/yieldlab/internal/stat"
+)
+
+// Estimate is a Monte Carlo mean with its standard error.
+type Estimate struct {
+	Mean   float64
+	StdErr float64
+	Rounds int
+}
+
+// RoundFunc computes one simulation round using the provided stream. The
+// returned value is averaged across rounds.
+type RoundFunc func(r *rand.Rand) (float64, error)
+
+// Options configures a run.
+type Options struct {
+	// Seed is the root seed (rng.DefaultSeed if zero).
+	Seed uint64
+	// Workers caps parallelism (NumCPU if ≤ 0).
+	Workers int
+	// BatchSize groups rounds per stream derivation; larger batches
+	// amortize stream setup, smaller ones improve balance. Default 64.
+	BatchSize int
+}
+
+// Run executes rounds of f in parallel and merges the estimates.
+//
+// Reproducibility: round batch b always uses the stream derived from
+// (seed, b), so the estimate is a pure function of (seed, rounds, f)
+// regardless of scheduling or worker count.
+func Run(rounds int, f RoundFunc, opt Options) (Estimate, error) {
+	if f == nil {
+		return Estimate{}, errors.New("montecarlo: nil round function")
+	}
+	if rounds < 2 {
+		return Estimate{}, fmt.Errorf("montecarlo: need ≥ 2 rounds, got %d", rounds)
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = rng.DefaultSeed
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	batch := opt.BatchSize
+	if batch <= 0 {
+		batch = 64
+	}
+	nBatches := (rounds + batch - 1) / batch
+
+	if workers > nBatches {
+		workers = nBatches
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		merged  stat.Welford
+		firstEr error
+		nextIdx int
+	)
+	work := func() {
+		defer wg.Done()
+		var local stat.Welford
+		for {
+			mu.Lock()
+			if firstEr != nil || nextIdx >= nBatches {
+				mu.Unlock()
+				break
+			}
+			b := nextIdx
+			nextIdx++
+			mu.Unlock()
+
+			r := rng.Derive(seed, uint64(b))
+			lo := b * batch
+			hi := lo + batch
+			if hi > rounds {
+				hi = rounds
+			}
+			for i := lo; i < hi; i++ {
+				v, err := f(r)
+				if err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local.Add(v)
+			}
+		}
+		mu.Lock()
+		merged.Merge(local)
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go work()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return Estimate{}, firstEr
+	}
+	return Estimate{Mean: merged.Mean(), StdErr: merged.StdErr(), Rounds: int(merged.N())}, nil
+}

@@ -1,0 +1,85 @@
+package montecarlo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRunEstimatesMean(t *testing.T) {
+	est, err := Run(200_000, func(r *rand.Rand) (float64, error) {
+		return r.Float64(), nil
+	}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-0.5) > 5*est.StdErr {
+		t.Fatalf("mean %v ± %v, want 0.5", est.Mean, est.StdErr)
+	}
+	if est.Rounds != 200_000 {
+		t.Fatalf("rounds: %d", est.Rounds)
+	}
+	// StdErr of U(0,1) mean: (1/√12)/√n ≈ 6.45e-4.
+	if est.StdErr < 5e-4 || est.StdErr > 8e-4 {
+		t.Fatalf("stderr: %v", est.StdErr)
+	}
+}
+
+func TestRunReproducibleAcrossWorkerCounts(t *testing.T) {
+	f := func(r *rand.Rand) (float64, error) { return r.NormFloat64(), nil }
+	a, err := Run(10_000, f, Options{Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(10_000, f, Options{Seed: 42, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Mean-b.Mean) > 1e-12 {
+		t.Fatalf("worker count changed the estimate: %v vs %v", a.Mean, b.Mean)
+	}
+}
+
+func TestRunSeedChangesStream(t *testing.T) {
+	f := func(r *rand.Rand) (float64, error) { return r.Float64(), nil }
+	a, _ := Run(1000, f, Options{Seed: 1})
+	b, _ := Run(1000, f, Options{Seed: 2})
+	if a.Mean == b.Mean {
+		t.Fatal("different seeds should give different estimates")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	n := 0
+	_, err := Run(1000, func(r *rand.Rand) (float64, error) {
+		n++
+		if n > 100 {
+			return 0, boom
+		}
+		return 1, nil
+	}, Options{Seed: 1, Workers: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected boom, got %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(10, nil, Options{}); err == nil {
+		t.Error("nil function")
+	}
+	if _, err := Run(1, func(r *rand.Rand) (float64, error) { return 0, nil }, Options{}); err == nil {
+		t.Error("too few rounds")
+	}
+}
+
+func TestRunSmallRoundsLargeBatch(t *testing.T) {
+	est, err := Run(5, func(r *rand.Rand) (float64, error) { return 2, nil }, Options{Seed: 9, BatchSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rounds != 5 || est.Mean != 2 {
+		t.Fatalf("est: %+v", est)
+	}
+}

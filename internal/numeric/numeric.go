@@ -1,0 +1,238 @@
+// Package numeric supplies the small set of numerical routines the yield
+// models need and that the Go standard library does not provide: bracketing
+// root finders, Simpson quadrature, monotone linear interpolation, stable
+// log-space accumulation and the normal distribution special functions.
+//
+// The implementations favour robustness over raw speed; every routine is
+// deterministic and allocation-light so it can sit inside Monte Carlo inner
+// loops and testing/quick properties.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned by root finders when f(lo) and f(hi) do not
+// straddle zero.
+var ErrNoBracket = errors.New("numeric: root is not bracketed")
+
+// ErrMaxIter is returned when an iterative routine fails to converge within
+// its iteration budget.
+var ErrMaxIter = errors.New("numeric: maximum iterations exceeded")
+
+// Bisect finds x in [lo, hi] with f(x) = 0 for a continuous f whose sign
+// differs at the endpoints. It converges unconditionally and is the fallback
+// used throughout the repository for monotone inversions (width from failure
+// probability, truncated-normal location from target mean, ...).
+func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if math.Signbit(flo) == math.Signbit(fhi) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, lo, flo, hi, fhi)
+	}
+	for i := 0; i < maxIter; i++ {
+		mid := 0.5 * (lo + hi)
+		if hi-lo <= tol || mid == lo || mid == hi {
+			return mid, nil
+		}
+		fmid := f(mid)
+		if fmid == 0 {
+			return mid, nil
+		}
+		if math.Signbit(fmid) == math.Signbit(flo) {
+			lo, flo = mid, fmid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), ErrMaxIter
+}
+
+// Brent finds a root of f in [lo, hi] using Brent's method (inverse quadratic
+// interpolation with bisection safeguards). It needs the same sign change as
+// Bisect but typically converges in far fewer function evaluations, which
+// matters when f is itself an expensive renewal-model evaluation.
+func Brent(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	a, b := lo, hi
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for i := 0; i < maxIter; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*math.Nextafter(math.Abs(b), math.Inf(1))*0x1p-52 + 0.5*tol
+		xm := 0.5 * (c - b)
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			min1 := 3*xm*q - math.Abs(tol1*q)
+			min2 := math.Abs(e * q)
+			if 2*p < math.Min(min1, min2) {
+				e, d = d, p/q
+			} else {
+				d, e = xm, xm
+			}
+		} else {
+			d, e = xm, xm
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else if xm > 0 {
+			b += tol1
+		} else {
+			b -= tol1
+		}
+		fb = f(b)
+		if math.Signbit(fb) == math.Signbit(fc) {
+			c, fc = a, fa
+			d, e = b-a, b-a
+		}
+	}
+	return b, ErrMaxIter
+}
+
+// Simpson integrates f over [a, b] with n panels (n is rounded up to even).
+func Simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	if n%2 != 0 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	var odd, even Kahan
+	for i := 1; i < n; i += 2 {
+		odd.Add(f(a + float64(i)*h))
+	}
+	for i := 2; i < n; i += 2 {
+		even.Add(f(a + float64(i)*h))
+	}
+	return h / 3 * (f(a) + f(b) + 4*odd.Sum() + 2*even.Sum())
+}
+
+// Kahan is a compensated accumulator. The zero value is ready to use.
+type Kahan struct {
+	sum float64
+	c   float64
+}
+
+// Add accumulates x with Kahan–Babuška compensation.
+func (k *Kahan) Add(x float64) {
+	t := k.sum + x
+	if math.Abs(k.sum) >= math.Abs(x) {
+		k.c += (k.sum - t) + x
+	} else {
+		k.c += (x - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *Kahan) Sum() float64 { return k.sum + k.c }
+
+// SumSlice returns the compensated sum of xs.
+func SumSlice(xs []float64) float64 {
+	var k Kahan
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}
+
+// LogSumExp returns log(Σ exp(xi)) without overflow. It returns -Inf for an
+// empty slice.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var k Kahan
+	for _, x := range xs {
+		k.Add(math.Exp(x - m))
+	}
+	return m + math.Log(k.Sum())
+}
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Linspace returns n evenly spaced points from a to b inclusive.
+func Linspace(a, b float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{a}
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b
+	return out
+}
+
+// Logspace returns n logarithmically spaced points from a to b inclusive;
+// a and b must be positive.
+func Logspace(a, b float64, n int) []float64 {
+	pts := Linspace(math.Log(a), math.Log(b), n)
+	for i, p := range pts {
+		pts[i] = math.Exp(p)
+	}
+	if n > 0 {
+		pts[0], pts[n-1] = a, b
+	}
+	return pts
+}

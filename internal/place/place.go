@@ -1,0 +1,237 @@
+// Package place performs the row placement behind the paper's Section 3.3
+// numbers: cells are abutted into fixed-width standard-cell rows, and the
+// placement yields the two quantities the correlation model consumes —
+// Pmin-CNFET, the linear density of critical (minimum-size) CNFETs along a
+// row (1.8 FETs/µm in the paper's OpenRISC design), and the lateral offset
+// usage of those devices in global row coordinates.
+package place
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cnfet/yieldlab/internal/celllib"
+	"github.com/cnfet/yieldlab/internal/netlist"
+	"github.com/cnfet/yieldlab/internal/rowyield"
+)
+
+// Instance is one placed cell.
+type Instance struct {
+	// Cell is the library cell name.
+	Cell string
+	// Row is the placement row index.
+	Row int
+	// XNM is the left edge within the row.
+	XNM float64
+}
+
+// Placement is a row-based placement of a netlist.
+type Placement struct {
+	// Rows holds the placed instances, row by row, in x order.
+	Rows [][]Instance
+	// RowWidthNM is the target row capacity.
+	RowWidthNM float64
+
+	lib *celllib.Library
+}
+
+// PlaceRows greedily fills rows of the given width with the netlist's
+// instances in a deterministic shuffled order (mixing cell types within
+// rows, as a real placer's result would).
+func PlaceRows(lib *celllib.Library, nl *netlist.Netlist, rowWidthNM float64, seed uint64) (*Placement, error) {
+	if lib == nil {
+		return nil, errors.New("place: nil library")
+	}
+	if nl == nil {
+		return nil, errors.New("place: nil netlist")
+	}
+	if !(rowWidthNM > 0) {
+		return nil, fmt.Errorf("place: row width %g must be positive", rowWidthNM)
+	}
+	p := &Placement{RowWidthNM: rowWidthNM, lib: lib}
+	var row []Instance
+	x := 0.0
+	rowIdx := 0
+	for _, name := range nl.ExpandShuffled(seed) {
+		c, err := lib.Cell(name)
+		if err != nil {
+			return nil, err
+		}
+		if c.WidthNM > rowWidthNM {
+			return nil, fmt.Errorf("place: cell %s (%g nm) wider than row (%g nm)", name, c.WidthNM, rowWidthNM)
+		}
+		if x+c.WidthNM > rowWidthNM {
+			p.Rows = append(p.Rows, row)
+			row = nil
+			x = 0
+			rowIdx++
+		}
+		row = append(row, Instance{Cell: name, Row: rowIdx, XNM: x})
+		x += c.WidthNM
+	}
+	if len(row) > 0 {
+		p.Rows = append(p.Rows, row)
+	}
+	return p, nil
+}
+
+// NumRows returns the row count.
+func (p *Placement) NumRows() int { return len(p.Rows) }
+
+// Instances returns the total placed instance count.
+func (p *Placement) Instances() int {
+	n := 0
+	for _, r := range p.Rows {
+		n += len(r)
+	}
+	return n
+}
+
+// CriticalFET is one below-Wmin n-type device in row coordinates.
+type CriticalFET struct {
+	Row int
+	// XNM is the device's gate position along the row.
+	XNM float64
+	// YOffsetNM is the lateral offset of its active region.
+	YOffsetNM float64
+	// WidthNM is the (pre-upsizing) device width.
+	WidthNM float64
+}
+
+// CriticalNFETs enumerates all critical n-type devices of the placement.
+func (p *Placement) CriticalNFETs(wminNM float64) ([]CriticalFET, error) {
+	if !(wminNM > 0) {
+		return nil, fmt.Errorf("place: Wmin %g must be positive", wminNM)
+	}
+	var out []CriticalFET
+	for _, row := range p.Rows {
+		for _, inst := range row {
+			c, err := p.lib.Cell(inst.Cell)
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range c.Transistors {
+				if t.Type != celllib.NFET || t.WidthNM >= wminNM {
+					continue
+				}
+				out = append(out, CriticalFET{
+					Row:       inst.Row,
+					XNM:       inst.XNM + (float64(t.Column)+0.6)*c.PolyPitchNM,
+					YOffsetNM: t.YOffsetNM,
+					WidthNM:   t.WidthNM,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// CriticalDensityPerUM returns Pmin-CNFET: critical n-type devices per µm
+// of placed row length.
+func (p *Placement) CriticalDensityPerUM(wminNM float64) (float64, error) {
+	fets, err := p.CriticalNFETs(wminNM)
+	if err != nil {
+		return 0, err
+	}
+	var length float64
+	for _, row := range p.Rows {
+		for _, inst := range row {
+			c, err := p.lib.Cell(inst.Cell)
+			if err != nil {
+				return 0, err
+			}
+			length += c.WidthNM
+		}
+	}
+	if length == 0 {
+		return 0, errors.New("place: empty placement")
+	}
+	return float64(len(fets)) / (length / 1000), nil
+}
+
+// CriticalOffsetDist returns the offset distribution of the placed critical
+// devices — the empirical input to the DirectionalUnaligned row model.
+func (p *Placement) CriticalOffsetDist(wminNM float64) (rowyield.OffsetDist, error) {
+	fets, err := p.CriticalNFETs(wminNM)
+	if err != nil {
+		return rowyield.OffsetDist{}, err
+	}
+	if len(fets) == 0 {
+		return rowyield.OffsetDist{}, errors.New("place: no critical devices below Wmin")
+	}
+	weights := make(map[float64]float64)
+	for _, f := range fets {
+		weights[f.YOffsetNM]++
+	}
+	offsets := make([]float64, 0, len(weights))
+	for off := range weights {
+		offsets = append(offsets, off)
+	}
+	sortFloat64s(offsets)
+	probs := make([]float64, len(offsets))
+	for i, off := range offsets {
+		probs[i] = weights[off]
+	}
+	return rowyield.NewOffsetDist(offsets, probs)
+}
+
+// ChipYieldResult summarizes a full-chip correlated-yield evaluation built
+// on placement statistics (the Section 3.1 chain: density → MRmin → KR →
+// yield).
+type ChipYieldResult struct {
+	// DensityPerUM is the measured Pmin-CNFET.
+	DensityPerUM float64
+	// MRmin is the per-row correlated device count (Eq. 3.2).
+	MRmin float64
+	// KRows is the independent row count Mmin/MRmin.
+	KRows float64
+	// RowPF is the aligned-row failure probability (= devicePF).
+	RowPF float64
+	// Yield is the chip-level CNT-count-limited yield (Eq. 3.1).
+	Yield float64
+}
+
+// CorrelatedChipYield evaluates the aligned-active chip yield using this
+// placement's measured critical-device density: devicePF is the analytic
+// failure probability of a Wmin-sized device, lcntNM the CNT length, and
+// chipMmin the number of minimum-size devices on the full chip (the
+// placement itself is a statistical sample, not the whole chip).
+func (p *Placement) CorrelatedChipYield(devicePF, wminNM, lcntNM, chipMmin float64) (ChipYieldResult, error) {
+	if devicePF < 0 || devicePF > 1 {
+		return ChipYieldResult{}, fmt.Errorf("place: devicePF %g out of [0,1]", devicePF)
+	}
+	if !(chipMmin > 0) {
+		return ChipYieldResult{}, fmt.Errorf("place: chip Mmin %g must be positive", chipMmin)
+	}
+	density, err := p.CriticalDensityPerUM(wminNM)
+	if err != nil {
+		return ChipYieldResult{}, err
+	}
+	if !(density > 0) {
+		return ChipYieldResult{}, errors.New("place: no critical devices in placement")
+	}
+	mrmin, err := rowyield.MRmin(lcntNM, density)
+	if err != nil {
+		return ChipYieldResult{}, err
+	}
+	kr := chipMmin / mrmin
+	y, err := rowyield.CorrelatedYield(kr, devicePF)
+	if err != nil {
+		return ChipYieldResult{}, err
+	}
+	return ChipYieldResult{
+		DensityPerUM: density,
+		MRmin:        mrmin,
+		KRows:        kr,
+		RowPF:        devicePF,
+		Yield:        y,
+	}, nil
+}
+
+func sortFloat64s(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

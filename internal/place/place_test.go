@@ -1,0 +1,181 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/celllib"
+	"github.com/cnfet/yieldlab/internal/netlist"
+)
+
+func placed(t *testing.T, instances int) (*celllib.Library, *Placement) {
+	t.Helper()
+	lib, err := celllib.NangateLike45()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := netlist.OpenRISCLike(lib, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PlaceRows(lib, nl, 50_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, p
+}
+
+func TestPlaceRowsBasics(t *testing.T) {
+	_, p := placed(t, 20_000)
+	if p.NumRows() < 100 {
+		t.Fatalf("rows: %d", p.NumRows())
+	}
+	if p.Instances() < 19_000 {
+		t.Fatalf("instances: %d", p.Instances())
+	}
+	// Rows respect capacity and x-ordering.
+	for _, row := range p.Rows {
+		x := -1.0
+		var end float64
+		for _, inst := range row {
+			if inst.XNM <= x {
+				t.Fatal("instances out of order")
+			}
+			x = inst.XNM
+			end = inst.XNM
+		}
+		if end > 50_000 {
+			t.Fatalf("row overflows: %v", end)
+		}
+	}
+}
+
+func TestPlaceRowsErrors(t *testing.T) {
+	lib, _ := celllib.NangateLike45()
+	nl, _ := netlist.OpenRISCLike(lib, 100)
+	if _, err := PlaceRows(nil, nl, 1000, 1); err == nil {
+		t.Error("nil library")
+	}
+	if _, err := PlaceRows(lib, nil, 1000, 1); err == nil {
+		t.Error("nil netlist")
+	}
+	if _, err := PlaceRows(lib, nl, 0, 1); err == nil {
+		t.Error("zero row width")
+	}
+	if _, err := PlaceRows(lib, nl, 100, 1); err == nil {
+		t.Error("row narrower than cells")
+	}
+}
+
+// The paper's Section 3.3 density check: the placed OpenRISC design has a
+// critical-device density of order 1–2 FETs/µm (the paper measured 1.8).
+func TestCriticalDensityBand(t *testing.T) {
+	_, p := placed(t, 20_000)
+	d, err := p.CriticalDensityPerUM(155)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 1.0 || d > 2.2 {
+		t.Fatalf("critical density %.2f /µm, want ≈ 1.4 (paper: 1.8)", d)
+	}
+	// A threshold at the minimum width leaves no critical devices at all
+	// (strict inequality).
+	d2, err := p.CriticalDensityPerUM(celllib.MinWidthNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != 0 {
+		t.Fatalf("density below min width should be zero: %v", d2)
+	}
+}
+
+func TestCriticalOffsetDistSpansGrid(t *testing.T) {
+	_, p := placed(t, 20_000)
+	od, err := p.CriticalOffsetDist(109)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if od.DistinctCount() < 8 {
+		t.Fatalf("distinct offsets: %d", od.DistinctCount())
+	}
+	var sum float64
+	for _, pr := range od.Probs {
+		sum += pr
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("offset probs sum: %v", sum)
+	}
+}
+
+func TestCriticalNFETsCoordinates(t *testing.T) {
+	_, p := placed(t, 5_000)
+	fets, err := p.CriticalNFETs(155)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fets) == 0 {
+		t.Fatal("no critical FETs found")
+	}
+	for _, f := range fets {
+		if f.XNM < 0 || f.XNM > 50_000 {
+			t.Fatalf("FET x out of row: %v", f.XNM)
+		}
+		if f.WidthNM >= 155 {
+			t.Fatalf("non-critical FET reported: %v", f.WidthNM)
+		}
+		if f.Row < 0 || f.Row >= p.NumRows() {
+			t.Fatalf("bad row: %d", f.Row)
+		}
+	}
+	if _, err := p.CriticalNFETs(0); err == nil {
+		t.Error("zero Wmin")
+	}
+	if _, err := p.CriticalOffsetDist(celllib.MinWidthNM); err == nil {
+		t.Error("threshold with no critical devices should error")
+	}
+}
+
+// End-to-end chain: placement density → MRmin → KR → correlated chip
+// yield. At the budgeted device pF the chip must clear 90%.
+func TestCorrelatedChipYield(t *testing.T) {
+	_, p := placed(t, 20_000)
+	res, err := p.CorrelatedChipYield(1.47e-8, 142.7, 200_000, 3.3e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MRmin < 200 || res.MRmin > 450 {
+		t.Fatalf("MRmin: %v", res.MRmin)
+	}
+	if res.KRows <= 0 || res.KRows > 3.3e7 {
+		t.Fatalf("KR: %v", res.KRows)
+	}
+	if res.Yield < 0.995 {
+		// 1.47e-8 × KR ≈ 1.47e-8 × 1.2e5 ≈ 1.8e-3 failure probability.
+		t.Fatalf("correlated yield: %v", res.Yield)
+	}
+	// Errors.
+	if _, err := p.CorrelatedChipYield(2, 142.7, 200_000, 1e7); err == nil {
+		t.Error("bad devicePF")
+	}
+	if _, err := p.CorrelatedChipYield(0.1, 142.7, 200_000, 0); err == nil {
+		t.Error("zero Mmin")
+	}
+	if _, err := p.CorrelatedChipYield(0.1, celllib.MinWidthNM, 200_000, 1e7); err == nil {
+		t.Error("no critical devices")
+	}
+}
+
+func TestPlacementDeterminism(t *testing.T) {
+	_, p1 := placed(t, 3_000)
+	_, p2 := placed(t, 3_000)
+	if p1.NumRows() != p2.NumRows() {
+		t.Fatal("row count differs")
+	}
+	for i := range p1.Rows {
+		for j := range p1.Rows[i] {
+			if p1.Rows[i][j] != p2.Rows[i][j] {
+				t.Fatal("placement not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package plot renders experiment results without external dependencies:
+// ASCII line/bar charts for terminal output (including the log-scale pF
+// curves of Fig. 2.1), a minimal SVG writer for the layout artwork of
+// Figs. 3.1/3.2, and CSV emission for downstream tooling.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// LineChart renders one or more series on a character grid.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots the y axis in log10 space (zero/negative points are
+	// dropped).
+	LogY   bool
+	Width  int
+	Height int
+	Series []Series
+}
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c *LineChart) Render() (string, error) {
+	if len(c.Series) == 0 {
+		return "", errors.New("plot: no series")
+	}
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 24
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	type pt struct{ x, y float64 }
+	pts := make([][]pt, len(c.Series))
+	for si, s := range c.Series {
+		if len(s.Xs) != len(s.Ys) {
+			return "", fmt.Errorf("plot: series %q length mismatch", s.Name)
+		}
+		for i := range s.Xs {
+			y := s.Ys[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(y) || math.IsInf(y, 0) || math.IsNaN(s.Xs[i]) {
+				continue
+			}
+			pts[si] = append(pts[si], pt{s.Xs[i], y})
+			xMin, xMax = math.Min(xMin, s.Xs[i]), math.Max(xMax, s.Xs[i])
+			yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+		}
+	}
+	if xMin > xMax || yMin > yMax {
+		return "", errors.New("plot: no finite points")
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si := range pts {
+		m := markers[si%len(markers)]
+		for _, p := range pts[si] {
+			col := int(math.Round((p.x - xMin) / (xMax - xMin) * float64(w-1)))
+			row := h - 1 - int(math.Round((p.y-yMin)/(yMax-yMin)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = m
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop, yBot := yMax, yMin
+	format := func(v float64) string {
+		if c.LogY {
+			return fmt.Sprintf("%8.1e", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%8.3g", v)
+	}
+	for i, line := range grid {
+		label := strings.Repeat(" ", 8)
+		switch i {
+		case 0:
+			label = format(yTop)
+		case h - 1:
+			label = format(yBot)
+		case h / 2:
+			label = format((yTop + yBot) / 2)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", 8), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-12.4g%s%12.4g\n", strings.Repeat(" ", 8), xMin,
+		strings.Repeat(" ", maxInt(w-24, 1)), xMax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", 8), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s   %c %s\n", strings.Repeat(" ", 8), markers[si%len(markers)], s.Name)
+	}
+	return b.String(), nil
+}
+
+// BarChart renders grouped bars (e.g. penalty vs technology node).
+type BarChart struct {
+	Title  string
+	YLabel string
+	// Labels name the groups along x.
+	Labels []string
+	// Groups holds one named value series per group member.
+	Groups []Series // only Name and Ys (len == len(Labels)) are used
+	Width  int
+}
+
+// Render draws the chart as horizontal bars per label/group.
+func (b *BarChart) Render() (string, error) {
+	if len(b.Labels) == 0 || len(b.Groups) == 0 {
+		return "", errors.New("plot: empty bar chart")
+	}
+	max := 0.0
+	for _, g := range b.Groups {
+		if len(g.Ys) != len(b.Labels) {
+			return "", fmt.Errorf("plot: group %q has %d values for %d labels", g.Name, len(g.Ys), len(b.Labels))
+		}
+		for _, v := range g.Ys {
+			if math.IsNaN(v) || v < 0 {
+				return "", fmt.Errorf("plot: bar value %v invalid", v)
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	w := b.Width
+	if w <= 0 {
+		w = 50
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", b.Title)
+	}
+	for li, label := range b.Labels {
+		for gi, g := range b.Groups {
+			n := int(math.Round(g.Ys[li] / max * float64(w)))
+			head := ""
+			if gi == 0 {
+				head = label
+			}
+			fmt.Fprintf(&sb, "%-8s %-28s |%s %.4g\n", head, g.Name,
+				strings.Repeat("█", n), g.Ys[li])
+		}
+	}
+	if b.YLabel != "" {
+		fmt.Fprintf(&sb, "(%s)\n", b.YLabel)
+	}
+	return sb.String(), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits a rectangular table: header row plus one row per record.
+// Cells containing separators or quotes are quoted per RFC 4180.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	if w == nil {
+		return errors.New("plot: nil writer")
+	}
+	if len(header) == 0 {
+		return errors.New("plot: empty CSV header")
+	}
+	write := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = csvEscape(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := write(header); err != nil {
+		return err
+	}
+	for i, r := range rows {
+		if len(r) != len(header) {
+			return fmt.Errorf("plot: CSV row %d has %d cells, header has %d", i, len(r), len(header))
+		}
+		if err := write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeriesCSV renders aligned series as CSV columns x, name1, name2, ...
+// All series must share the same Xs.
+func SeriesCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return errors.New("plot: no series")
+	}
+	n := len(series[0].Xs)
+	header := []string{"x"}
+	for _, s := range series {
+		if len(s.Xs) != n || len(s.Ys) != n {
+			return fmt.Errorf("plot: series %q not aligned", s.Name)
+		}
+		header = append(header, s.Name)
+	}
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		row := []string{formatFloat(series[0].Xs[i])}
+		for _, s := range series {
+			row = append(row, formatFloat(s.Ys[i]))
+		}
+		rows[i] = row
+	}
+	return WriteCSV(w, header, rows)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}
+
+func csvEscape(c string) string {
+	if strings.ContainsAny(c, ",\"\n") {
+		return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+	}
+	return c
+}

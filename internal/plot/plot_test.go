@@ -1,0 +1,163 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineChartRender(t *testing.T) {
+	c := &LineChart{
+		Title:  "test",
+		Series: []Series{{Name: "a", Xs: []float64{0, 1, 2}, Ys: []float64{1, 2, 3}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "test") || !strings.Contains(out, "*") {
+		t.Fatalf("chart missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "a") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestLineChartLogY(t *testing.T) {
+	c := &LineChart{
+		LogY: true,
+		Series: []Series{{
+			Name: "pf",
+			Xs:   []float64{1, 2, 3, 4},
+			Ys:   []float64{1e-2, 1e-5, 0, 1e-9}, // zero dropped
+		}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "e-0") {
+		t.Fatalf("log labels missing:\n%s", out)
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	if _, err := (&LineChart{}).Render(); err == nil {
+		t.Error("no series")
+	}
+	bad := &LineChart{Series: []Series{{Name: "x", Xs: []float64{1}, Ys: []float64{1, 2}}}}
+	if _, err := bad.Render(); err == nil {
+		t.Error("length mismatch")
+	}
+	empty := &LineChart{Series: []Series{{Name: "x", Xs: []float64{1}, Ys: []float64{math.NaN()}}}}
+	if _, err := empty.Render(); err == nil {
+		t.Error("no finite points")
+	}
+}
+
+func TestLineChartFlatSeries(t *testing.T) {
+	c := &LineChart{Series: []Series{{Name: "flat", Xs: []float64{1, 2}, Ys: []float64{5, 5}}}}
+	if _, err := c.Render(); err != nil {
+		t.Fatalf("flat series should render: %v", err)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	b := &BarChart{
+		Title:  "penalty",
+		Labels: []string{"45nm", "32nm"},
+		Groups: []Series{{Name: "base", Ys: []float64{10, 20}}},
+	}
+	out, err := b.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "45nm") || !strings.Contains(out, "█") {
+		t.Fatalf("bars missing:\n%s", out)
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	if _, err := (&BarChart{}).Render(); err == nil {
+		t.Error("empty chart")
+	}
+	b := &BarChart{Labels: []string{"a"}, Groups: []Series{{Name: "g", Ys: []float64{1, 2}}}}
+	if _, err := b.Render(); err == nil {
+		t.Error("group length mismatch")
+	}
+	b = &BarChart{Labels: []string{"a"}, Groups: []Series{{Name: "g", Ys: []float64{-1}}}}
+	if _, err := b.Render(); err == nil {
+		t.Error("negative bar")
+	}
+	b = &BarChart{Labels: []string{"a"}, Groups: []Series{{Name: "g", Ys: []float64{0}}}}
+	if _, err := b.Render(); err != nil {
+		t.Errorf("all-zero bars should render: %v", err)
+	}
+}
+
+func TestSVG(t *testing.T) {
+	s := NewSVG(100, 50)
+	s.Rect(1, 2, 3, 4, "red", "black", 1)
+	s.Line(0, 0, 10, 10, "blue", 0.5)
+	s.DashedRect(5, 5, 10, 10, "goldenrod", 2)
+	s.Text(1, 1, 10, "a<b&c")
+	out := s.String()
+	for _, want := range []string{
+		`<svg xmlns`, `width="100"`, `<rect`, `<line`, `stroke-dasharray`,
+		`a&lt;b&amp;c`, `</svg>`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	empty := NewSVG(10, 10)
+	empty.Rect(0, 0, 1, 1, "", "", 0)
+	if !strings.Contains(empty.String(), `fill="none"`) {
+		t.Error("empty fill should render as none")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"a", "b"}, [][]string{{"1", "x,y"}, {"2", `say "hi"`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"x,y"`) || !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatalf("escaping wrong:\n%s", out)
+	}
+	if err := WriteCSV(nil, []string{"a"}, nil); err == nil {
+		t.Error("nil writer")
+	}
+	if err := WriteCSV(&b, nil, nil); err == nil {
+		t.Error("empty header")
+	}
+	if err := WriteCSV(&b, []string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Error("ragged row")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	err := SeriesCSV(&b, []Series{
+		{Name: "y1", Xs: []float64{1, 2}, Ys: []float64{3, 4}},
+		{Name: "y2", Xs: []float64{1, 2}, Ys: []float64{5, 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "x,y1,y2" || lines[1] != "1,3,5" || lines[2] != "2,4,6" {
+		t.Fatalf("csv:\n%s", b.String())
+	}
+	if err := SeriesCSV(&b, nil); err == nil {
+		t.Error("no series")
+	}
+	if err := SeriesCSV(&b, []Series{
+		{Name: "y1", Xs: []float64{1}, Ys: []float64{1}},
+		{Name: "y2", Xs: []float64{1, 2}, Ys: []float64{1, 2}},
+	}); err == nil {
+		t.Error("misaligned series")
+	}
+}

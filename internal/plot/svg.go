@@ -1,0 +1,70 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG is a minimal scene builder sufficient for the paper's layout artwork:
+// Fig. 3.1's growth/layout panels and Fig. 3.2's before/after cell views.
+type SVG struct {
+	W, H  float64
+	elems []string
+}
+
+// NewSVG creates a canvas of the given size (user units).
+func NewSVG(w, h float64) *SVG { return &SVG{W: w, H: h} }
+
+// Rect adds a rectangle; stroke or fill may be empty for none.
+func (s *SVG) Rect(x, y, w, h float64, fill, stroke string, strokeWidth float64) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="%s" stroke-width="%.2f"/>`,
+		x, y, w, h, orNone(fill), orNone(stroke), strokeWidth))
+}
+
+// Line adds a line segment.
+func (s *SVG) Line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`,
+		x1, y1, x2, y2, orNone(stroke), width))
+}
+
+// DashedRect adds an outline-only rectangle with a dash pattern (used for
+// the paper's highlighted critical active regions).
+func (s *SVG) DashedRect(x, y, w, h float64, stroke string, strokeWidth float64) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="%s" stroke-width="%.2f" stroke-dasharray="6,4"/>`,
+		x, y, w, h, orNone(stroke), strokeWidth))
+}
+
+// Text adds a label.
+func (s *SVG) Text(x, y float64, size float64, content string) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<text x="%.2f" y="%.2f" font-size="%.1f" font-family="sans-serif">%s</text>`,
+		x, y, size, escape(content)))
+}
+
+// String renders the document.
+func (s *SVG) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		s.W, s.H, s.W, s.H)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	for _, e := range s.elems {
+		b.WriteString(e + "\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func orNone(v string) string {
+	if v == "" {
+		return "none"
+	}
+	return v
+}
+
+func escape(v string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(v)
+}

@@ -1,0 +1,338 @@
+package rowyield
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/cnfet/yieldlab/internal/dist"
+	"github.com/cnfet/yieldlab/internal/montecarlo"
+	"github.com/cnfet/yieldlab/internal/stat"
+)
+
+// Scenario selects one of Table 1's growth/layout combinations.
+type Scenario int
+
+// The three columns of Table 1.
+const (
+	// UncorrelatedGrowth: non-directional growth, no CNT sharing anywhere.
+	UncorrelatedGrowth Scenario = iota
+	// DirectionalUnaligned: directional growth, stock cell library (active
+	// regions at library-dependent lateral offsets).
+	DirectionalUnaligned
+	// DirectionalAligned: directional growth plus the aligned-active layout
+	// restriction — the paper's proposal.
+	DirectionalAligned
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case UncorrelatedGrowth:
+		return "uncorrelated growth"
+	case DirectionalUnaligned:
+		return "directional growth, non-aligned"
+	case DirectionalAligned:
+		return "directional growth, aligned-active"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// RowModel describes one row of minimum-width CNFETs for the Table 1
+// Monte Carlo. Build the stationary sampler once with Prepare (or let the
+// estimators do it lazily).
+type RowModel struct {
+	// Pitch is the inter-track spacing law (calibrated truncated normal).
+	Pitch dist.Continuous
+	// PerCNTFailure is pf from Eq. 2.1.
+	PerCNTFailure float64
+	// WidthNM is the (common) width of the minimum-size CNFETs.
+	WidthNM float64
+	// LCNTNM is the CNT length (200 µm).
+	LCNTNM float64
+	// DensityPerUM is Pmin-CNFET, the min-width CNFET density along the row
+	// (1.8 FETs/µm in the paper's placed OpenRISC design).
+	DensityPerUM float64
+	// Offsets is the lateral offset distribution of the (unmodified) cell
+	// library, used by the DirectionalUnaligned scenario.
+	Offsets OffsetDist
+
+	// fr is the cached stationary forward-recurrence sampler for Pitch.
+	fr *dist.ForwardRecurrence
+}
+
+// Prepare builds the stationary first-gap sampler. Estimators call it
+// automatically; calling it up front moves the one-time cost out of timed
+// sections and surfaces configuration errors early.
+func (m *RowModel) Prepare() error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.fr != nil {
+		return nil
+	}
+	fr, err := dist.NewForwardRecurrence(m.Pitch)
+	if err != nil {
+		return fmt.Errorf("rowyield: stationary sampler: %w", err)
+	}
+	m.fr = fr
+	return nil
+}
+
+// Validate checks the model.
+func (m RowModel) Validate() error {
+	if m.Pitch == nil {
+		return errors.New("rowyield: nil pitch distribution")
+	}
+	if m.PerCNTFailure < 0 || m.PerCNTFailure > 1 || math.IsNaN(m.PerCNTFailure) {
+		return fmt.Errorf("rowyield: pf %g out of [0,1]", m.PerCNTFailure)
+	}
+	if !(m.WidthNM > 0) {
+		return fmt.Errorf("rowyield: width %g must be positive", m.WidthNM)
+	}
+	if _, err := MRmin(m.LCNTNM, m.DensityPerUM); err != nil {
+		return err
+	}
+	if len(m.Offsets.Offsets) == 0 {
+		return errors.New("rowyield: empty offset distribution")
+	}
+	return nil
+}
+
+// FETsPerRow returns MRmin rounded to the nearest whole device.
+func (m RowModel) FETsPerRow() (int, error) {
+	v, err := MRmin(m.LCNTNM, m.DensityPerUM)
+	if err != nil {
+		return 0, err
+	}
+	n := int(math.Round(v))
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+// Estimate is a Monte Carlo estimate with its standard error.
+type Estimate struct {
+	Mean   float64
+	StdErr float64
+	Rounds int
+}
+
+// RelErr returns StdErr/Mean (infinite for a zero mean).
+func (e Estimate) RelErr() float64 {
+	if e.Mean == 0 {
+		return math.Inf(1)
+	}
+	return e.StdErr / e.Mean
+}
+
+// EstimateRowFailure estimates pRF for the scenario using `rounds` Monte
+// Carlo realizations of the track process (and offsets, for the unaligned
+// scenario). Each round contributes an exact conditional probability, not a
+// Bernoulli outcome, which is what makes 1e-8-scale probabilities reachable
+// without rare-event tricks.
+func (m *RowModel) EstimateRowFailure(r *rand.Rand, s Scenario, rounds int) (Estimate, error) {
+	if err := m.Prepare(); err != nil {
+		return Estimate{}, err
+	}
+	if rounds < 2 {
+		return Estimate{}, fmt.Errorf("rowyield: need ≥ 2 rounds, got %d", rounds)
+	}
+	nFETs, err := m.FETsPerRow()
+	if err != nil {
+		return Estimate{}, err
+	}
+	var w stat.Welford
+	for i := 0; i < rounds; i++ {
+		p, err := m.round(r, s, nFETs)
+		if err != nil {
+			return Estimate{}, err
+		}
+		w.Add(p)
+	}
+	return Estimate{Mean: w.Mean(), StdErr: w.StdErr(), Rounds: rounds}, nil
+}
+
+// EstimateRowFailureParallel runs the same estimator across worker
+// goroutines via the montecarlo engine; the result is reproducible from the
+// seed regardless of worker count.
+func (m *RowModel) EstimateRowFailureParallel(seed uint64, s Scenario, rounds, workers int) (Estimate, error) {
+	if err := m.Prepare(); err != nil {
+		return Estimate{}, err
+	}
+	nFETs, err := m.FETsPerRow()
+	if err != nil {
+		return Estimate{}, err
+	}
+	est, err := montecarlo.Run(rounds, func(r *rand.Rand) (float64, error) {
+		return m.round(r, s, nFETs)
+	}, montecarlo.Options{Seed: seed, Workers: workers})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Mean: est.Mean, StdErr: est.StdErr, Rounds: est.Rounds}, nil
+}
+
+// round dispatches one Monte Carlo realization.
+func (m *RowModel) round(r *rand.Rand, s Scenario, nFETs int) (float64, error) {
+	switch s {
+	case UncorrelatedGrowth:
+		return m.roundUncorrelated(r, nFETs)
+	case DirectionalUnaligned:
+		return m.roundDirectional(r, nFETs, false)
+	case DirectionalAligned:
+		return m.roundDirectional(r, nFETs, true)
+	default:
+		return 0, fmt.Errorf("rowyield: unknown scenario %d", int(s))
+	}
+}
+
+// roundUncorrelated: every CNFET sees its own independent track window.
+// Row survives iff every CNFET survives:
+// P(fail | counts) = 1 - Π_i (1 - pf^{N_i}).
+func (m *RowModel) roundUncorrelated(r *rand.Rand, nFETs int) (float64, error) {
+	logSurv := 0.0
+	for i := 0; i < nFETs; i++ {
+		n := m.countInWindow(r, m.WidthNM)
+		pFail := math.Pow(m.PerCNTFailure, float64(n)) // pf^0 = 1: empty window always fails
+		if pFail >= 1 {
+			return 1, nil
+		}
+		logSurv += math.Log1p(-pFail)
+	}
+	return -math.Expm1(logSurv), nil
+}
+
+// roundDirectional: one shared track realization; each CNFET covers the
+// tracks inside [offset, offset+W). Exact interval DP on the realization.
+func (m *RowModel) roundDirectional(r *rand.Rand, nFETs int, aligned bool) (float64, error) {
+	span := m.WidthNM
+	if !aligned {
+		span += m.Offsets.Span()
+	}
+	tracks := m.sampleTracks(r, span)
+	intervals := make([]Interval, 0, nFETs)
+	seen := make(map[Interval]bool, 16)
+	for i := 0; i < nFETs; i++ {
+		off := 0.0
+		if !aligned {
+			off = m.Offsets.Sample(r)
+		}
+		iv := windowInterval(tracks, off, off+m.WidthNM)
+		if iv.Empty() {
+			return 1, nil // a CNFET with zero tracks fails with certainty
+		}
+		if !seen[iv] {
+			seen[iv] = true
+			intervals = append(intervals, iv)
+		}
+	}
+	return ExactRowFailure(intervals, len(tracks), m.PerCNTFailure)
+}
+
+// sampleTracks realizes stationary renewal track positions over [0, span):
+// the first gap follows the exact forward-recurrence law, later gaps the
+// pitch law.
+func (m *RowModel) sampleTracks(r *rand.Rand, span float64) []float64 {
+	y := m.fr.Sample(r)
+	var tracks []float64
+	for y < span {
+		tracks = append(tracks, y)
+		y += m.Pitch.Sample(r)
+	}
+	return tracks
+}
+
+// countInWindow samples the CNT count of one independent window of width w.
+func (m *RowModel) countInWindow(r *rand.Rand, w float64) int {
+	n := 0
+	y := m.fr.Sample(r)
+	for y < w {
+		n++
+		y += m.Pitch.Sample(r)
+	}
+	return n
+}
+
+// windowInterval returns the inclusive index range of sorted track
+// positions falling inside [lo, hi).
+func windowInterval(tracks []float64, lo, hi float64) Interval {
+	start := sort.SearchFloat64s(tracks, lo)
+	end := sort.SearchFloat64s(tracks, hi) - 1
+	return Interval{Lo: start, Hi: end}
+}
+
+// Table1Row is one scenario line of the Table 1 reproduction.
+type Table1Row struct {
+	Scenario Scenario
+	PRF      Estimate
+	// Analytic carries the closed-form value where one exists
+	// (uncorrelated: 1-(1-pF)^MRmin; aligned: pF), NaN otherwise.
+	Analytic float64
+}
+
+// Table1Parallel runs all three scenarios on worker goroutines.
+func (m *RowModel) Table1Parallel(seed uint64, devicePF float64, rounds, workers int) ([]Table1Row, error) {
+	if devicePF < 0 || devicePF > 1 || math.IsNaN(devicePF) {
+		return nil, fmt.Errorf("rowyield: devicePF %g out of [0,1]", devicePF)
+	}
+	mr, err := MRmin(m.LCNTNM, m.DensityPerUM)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Table1Row, 0, 3)
+	for si, s := range []Scenario{UncorrelatedGrowth, DirectionalUnaligned, DirectionalAligned} {
+		est, err := m.EstimateRowFailureParallel(seed+uint64(si)*0x9E37, s, rounds, workers)
+		if err != nil {
+			return nil, err
+		}
+		analytic := math.NaN()
+		switch s {
+		case UncorrelatedGrowth:
+			analytic, err = IndependentRowFailure(devicePF, mr)
+			if err != nil {
+				return nil, err
+			}
+		case DirectionalAligned:
+			analytic = devicePF
+		}
+		out = append(out, Table1Row{Scenario: s, PRF: est, Analytic: analytic})
+	}
+	return out, nil
+}
+
+// Table1 runs all three scenarios. devicePF is the analytic device failure
+// probability at WidthNM (from the device model), used for the closed-form
+// columns.
+func (m *RowModel) Table1(r *rand.Rand, devicePF float64, rounds int) ([]Table1Row, error) {
+	if devicePF < 0 || devicePF > 1 || math.IsNaN(devicePF) {
+		return nil, fmt.Errorf("rowyield: devicePF %g out of [0,1]", devicePF)
+	}
+	mr, err := MRmin(m.LCNTNM, m.DensityPerUM)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Table1Row, 0, 3)
+	for _, s := range []Scenario{UncorrelatedGrowth, DirectionalUnaligned, DirectionalAligned} {
+		est, err := m.EstimateRowFailure(r, s, rounds)
+		if err != nil {
+			return nil, err
+		}
+		analytic := math.NaN()
+		switch s {
+		case UncorrelatedGrowth:
+			analytic, err = IndependentRowFailure(devicePF, mr)
+			if err != nil {
+				return nil, err
+			}
+		case DirectionalAligned:
+			analytic = devicePF
+		}
+		out = append(out, Table1Row{Scenario: s, PRF: est, Analytic: analytic})
+	}
+	return out, nil
+}

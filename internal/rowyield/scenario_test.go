@@ -1,0 +1,273 @@
+package rowyield
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/device"
+	"github.com/cnfet/yieldlab/internal/renewal"
+	"github.com/cnfet/yieldlab/internal/rng"
+)
+
+// testRowModel builds a small, fast row model: short LCNT and narrow
+// devices so Monte Carlo means are large enough to verify tightly.
+func testRowModel(t *testing.T, widthNM float64, offsets OffsetDist) RowModel {
+	t.Helper()
+	pitch, err := device.CalibratedPitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RowModel{
+		Pitch:         pitch,
+		PerCNTFailure: 0.531,
+		WidthNM:       widthNM,
+		LCNTNM:        20_000, // 20 µm rows: 36 FETs → fast rounds
+		DensityPerUM:  1.8,
+		Offsets:       offsets,
+	}
+}
+
+func analyticPF(t *testing.T, widthNM float64) float64 {
+	t.Helper()
+	m, err := device.NewCalibratedModel(device.WorstCorner(),
+		renewal.WithStep(0.05), renewal.WithMaxWidth(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.FailureProb(widthNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRowModelValidate(t *testing.T) {
+	good := testRowModel(t, 30, Aligned())
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Pitch = nil
+	if bad.Validate() == nil {
+		t.Error("nil pitch")
+	}
+	bad = good
+	bad.PerCNTFailure = 2
+	if bad.Validate() == nil {
+		t.Error("pf out of range")
+	}
+	bad = good
+	bad.WidthNM = 0
+	if bad.Validate() == nil {
+		t.Error("zero width")
+	}
+	bad = good
+	bad.Offsets = OffsetDist{}
+	if bad.Validate() == nil {
+		t.Error("empty offsets")
+	}
+}
+
+func TestFETsPerRow(t *testing.T) {
+	m := testRowModel(t, 30, Aligned())
+	n, err := m.FETsPerRow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 36 {
+		t.Fatalf("FETs per row: %d want 36", n)
+	}
+}
+
+// Aligned scenario must reproduce the analytic device failure probability:
+// a fully correlated row fails exactly as often as one device (pRF = pF).
+func TestAlignedMatchesDevicePF(t *testing.T) {
+	const w = 30.0
+	m := testRowModel(t, w, Aligned())
+	r := rng.New(101)
+	est, err := m.EstimateRowFailure(r, DirectionalAligned, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analyticPF(t, w)
+	if math.Abs(est.Mean-want) > 5*est.StdErr+0.02*want {
+		t.Fatalf("aligned pRF %v ± %v vs analytic pF %v", est.Mean, est.StdErr, want)
+	}
+}
+
+// Uncorrelated scenario must match 1-(1-pF)^m.
+func TestUncorrelatedMatchesClosedForm(t *testing.T) {
+	const w = 30.0
+	m := testRowModel(t, w, Aligned())
+	r := rng.New(103)
+	est, err := m.EstimateRowFailure(r, UncorrelatedGrowth, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pF := analyticPF(t, w)
+	want, err := IndependentRowFailure(pF, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-want) > 5*est.StdErr+0.03*want {
+		t.Fatalf("uncorrelated pRF %v ± %v vs closed form %v", est.Mean, est.StdErr, want)
+	}
+}
+
+// The Table 1 ordering: uncorrelated ≫ unaligned ≫ aligned, with the
+// aligned benefit equal to the full MRmin factor.
+func TestScenarioOrdering(t *testing.T) {
+	const w = 30.0
+	offsets, err := NewOffsetDist(
+		[]float64{0, 60, 120, 180, 240, 300},
+		[]float64{0.3, 0.2, 0.15, 0.15, 0.1, 0.1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testRowModel(t, w, offsets)
+	r := rng.New(rng.DefaultSeed)
+	rows, err := m.Table1(r, analyticPF(t, w), 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	unc, unal, al := rows[0].PRF.Mean, rows[1].PRF.Mean, rows[2].PRF.Mean
+	if !(unc > unal && unal > al) {
+		t.Fatalf("ordering violated: %v > %v > %v expected", unc, unal, al)
+	}
+	// Aligned benefit ≈ MRmin = 36 here (exactly, in the closed forms).
+	if ratio := unc / al; ratio < 20 || ratio > 50 {
+		t.Fatalf("aligned benefit %v, want ≈ 36", ratio)
+	}
+	// Unaligned benefit ≈ MRmin / distinct offsets = 36/6 = 6 for
+	// non-overlapping offsets (offsets spaced ≥ 2W apart here).
+	if ratio := unc / unal; ratio < 3.5 || ratio > 10 {
+		t.Fatalf("unaligned benefit %v, want ≈ 6", ratio)
+	}
+	// Closed-form columns.
+	if math.IsNaN(rows[0].Analytic) || math.IsNaN(rows[2].Analytic) {
+		t.Fatal("closed forms missing")
+	}
+	if !math.IsNaN(rows[1].Analytic) {
+		t.Fatal("unaligned should have no closed form")
+	}
+}
+
+// First-order group model: with G well-separated equiprobable offsets all
+// occupied, pRF(unaligned) ≈ G·pF.
+func TestUnalignedGroupApproximation(t *testing.T) {
+	const w = 25.0
+	offsets, err := NewOffsetDist(
+		[]float64{0, 100, 200}, // 3 groups, spaced 4×W: no overlap
+		[]float64{1, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testRowModel(t, w, offsets)
+	r := rng.New(7)
+	est, err := m.EstimateRowFailure(r, DirectionalUnaligned, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * analyticPF(t, w)
+	if math.Abs(est.Mean-want)/want > 0.2 {
+		t.Fatalf("group approximation: %v vs %v", est.Mean, want)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	m := testRowModel(t, 30, Aligned())
+	r := rng.New(1)
+	if _, err := m.EstimateRowFailure(r, DirectionalAligned, 1); err == nil {
+		t.Error("too few rounds")
+	}
+	if _, err := m.EstimateRowFailure(r, Scenario(99), 10); err == nil {
+		t.Error("unknown scenario")
+	}
+	bad := m
+	bad.WidthNM = -1
+	if _, err := bad.EstimateRowFailure(r, DirectionalAligned, 10); err == nil {
+		t.Error("invalid model")
+	}
+	if _, err := m.Table1(r, 2.0, 10); err == nil {
+		t.Error("devicePF out of range")
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	for _, s := range []Scenario{UncorrelatedGrowth, DirectionalUnaligned, DirectionalAligned} {
+		if s.String() == "" {
+			t.Fatal("empty scenario name")
+		}
+	}
+	if Scenario(42).String() == "" {
+		t.Fatal("unknown scenario should still print")
+	}
+}
+
+// The first-order analytic estimate must track the Monte Carlo within ~25%
+// in the Table 1 regime.
+func TestUnalignedFirstOrderMatchesMC(t *testing.T) {
+	const w = 30.0
+	offsets, err := NewOffsetDist(
+		[]float64{0, 20, 40, 60, 80, 100},
+		[]float64{1, 1, 1, 1, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testRowModel(t, w, offsets)
+	r := rng.New(41)
+	est, err := m.EstimateRowFailure(r, DirectionalUnaligned, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pF := analyticPF(t, w)
+	approx, err := offsets.UnalignedFirstOrder(pF, 0.531, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(approx-est.Mean)/est.Mean > 0.30 {
+		t.Fatalf("first order %v vs MC %v", approx, est.Mean)
+	}
+}
+
+func TestUnalignedFirstOrderErrors(t *testing.T) {
+	od, _ := NewOffsetDist([]float64{0, 20}, []float64{1, 1})
+	if _, err := od.UnalignedFirstOrder(2, 0.5, 4); err == nil {
+		t.Error("bad devicePF")
+	}
+	if _, err := od.UnalignedFirstOrder(0.1, -1, 4); err == nil {
+		t.Error("bad pf")
+	}
+	if _, err := od.UnalignedFirstOrder(0.1, 0.5, 0); err == nil {
+		t.Error("bad pitch")
+	}
+	empty := OffsetDist{Offsets: []float64{1}, Probs: []float64{0}}
+	if _, err := empty.UnalignedFirstOrder(0.1, 0.5, 4); err == nil {
+		t.Error("no occupied offsets")
+	}
+	// Single offset reduces to the aligned case.
+	one, _ := NewOffsetDist([]float64{0}, []float64{1})
+	v, err := one.UnalignedFirstOrder(1e-8, 0.531, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1e-8 {
+		t.Fatalf("single offset should equal pF: %v", v)
+	}
+}
+
+func TestEstimateRelErr(t *testing.T) {
+	e := Estimate{Mean: 2, StdErr: 0.5}
+	if e.RelErr() != 0.25 {
+		t.Fatal("rel err")
+	}
+	if !math.IsInf(Estimate{}.RelErr(), 1) {
+		t.Fatal("zero mean rel err")
+	}
+}

@@ -1,0 +1,230 @@
+// Package yieldlab is a laboratory for carbon-nanotube FET (CNFET) circuit
+// yield under CNT count failures, reproducing "Carbon Nanotube Correlation:
+// Promising Opportunity for CNFET Circuit Yield Enhancement" (Zhang, Bobba,
+// Patil, Lin, Wong, De Micheli, Mitra — DAC 2010).
+//
+// The library covers the full stack the paper builds on:
+//
+//   - a stochastic CNT growth substrate (directional tracks and dispersed
+//     sticks) with metallic-CNT removal;
+//   - the device-level count-failure model pF(W) = Σ P{N(W)=k}·pf^k over an
+//     exact renewal CNT-count distribution;
+//   - chip-level yield and the Wmin upsizing optimization;
+//   - the paper's contribution: row-level CNT correlation under directional
+//     growth and the aligned-active standard-cell layout restriction,
+//     including the library transformation and its area cost;
+//   - experiment runners regenerating every table and figure of the paper.
+//
+// Quick start:
+//
+//	model, _ := yieldlab.NewDeviceModel(yieldlab.WorstCorner())
+//	pf155, _ := model.FailureProb(155)             // ≈ 3e-9, Fig. 2.1 anchor
+//	runner := yieldlab.NewRunner(yieldlab.DefaultParams())
+//	res, _ := runner.Run("table1")                 // regenerate Table 1
+//	fmt.Println(res.Text())
+//
+// The sub-experiments, calibration constants and deviations from the paper
+// are documented in DESIGN.md and EXPERIMENTS.md.
+package yieldlab
+
+import (
+	"github.com/cnfet/yieldlab/internal/alignactive"
+	"github.com/cnfet/yieldlab/internal/celllib"
+	"github.com/cnfet/yieldlab/internal/cntgrowth"
+	"github.com/cnfet/yieldlab/internal/device"
+	"github.com/cnfet/yieldlab/internal/dist"
+	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/noisemargin"
+	"github.com/cnfet/yieldlab/internal/renewal"
+	"github.com/cnfet/yieldlab/internal/rowyield"
+	"github.com/cnfet/yieldlab/internal/widthdist"
+	"github.com/cnfet/yieldlab/internal/yield"
+)
+
+// Device-level modeling (paper Section 2.1).
+type (
+	// FailureParams carries the processing probabilities pm, pRs, pRm of
+	// Eq. 2.1.
+	FailureParams = device.FailureParams
+	// DeviceModel evaluates the count-failure probability pF(W) of Eq. 2.2.
+	DeviceModel = device.FailureModel
+	// Corner is a named processing condition of Fig. 2.1.
+	Corner = device.Corner
+	// CurrentModel demonstrates the 1/√N drive-current averaging law.
+	CurrentModel = device.CurrentModel
+)
+
+// WorstCorner returns the pm=33%, pRs=30% corner behind every headline
+// number in the paper.
+func WorstCorner() FailureParams { return device.WorstCorner() }
+
+// PaperCorners returns the three processing corners of Fig. 2.1.
+func PaperCorners() []Corner { return device.PaperCorners() }
+
+// NewDeviceModel builds the calibrated device failure model (truncated-
+// normal pitch, mean 4 nm) for the given processing corner.
+func NewDeviceModel(p FailureParams) (*DeviceModel, error) {
+	return device.NewCalibratedModel(p)
+}
+
+// NewDeviceModelWithRange builds the calibrated model with a custom grid
+// step and maximum width (nm) for fine-resolution or wide-device studies.
+func NewDeviceModelWithRange(p FailureParams, stepNM, maxWidthNM float64) (*DeviceModel, error) {
+	return device.NewCalibratedModel(p, renewal.WithStep(stepNM), renewal.WithMaxWidth(maxWidthNM))
+}
+
+// CalibratedPitch returns the frozen inter-CNT pitch law (see DESIGN.md §5).
+func CalibratedPitch() (dist.TruncNormal, error) { return device.CalibratedPitch() }
+
+// DefaultCurrentModel returns the representative drive-current parameters.
+func DefaultCurrentModel() CurrentModel { return device.DefaultCurrentModel() }
+
+// Chip-level yield and sizing (paper Section 2.2).
+type (
+	// SizingProblem is one chip-level Wmin optimization instance.
+	SizingProblem = yield.Problem
+	// SizingResult is a Wmin solution.
+	SizingResult = yield.Result
+	// WidthDistribution is a discrete transistor-width distribution.
+	WidthDistribution = widthdist.Distribution
+)
+
+// OpenRISCWidths returns the frozen Fig. 2.2a width distribution.
+func OpenRISCWidths() *WidthDistribution { return widthdist.OpenRISC45() }
+
+// SimplifiedWmin solves Eq. 2.5 (charge all yield loss to minimum devices).
+func SimplifiedWmin(p *SizingProblem) (SizingResult, error) { return yield.SimplifiedWmin(p) }
+
+// ExactWmin solves Eq. 2.4 by bisection over the threshold.
+func ExactWmin(p *SizingProblem) (SizingResult, error) { return yield.ExactWmin(p) }
+
+// RequiredDevicePF returns the per-device failure budget (1-Yd)/Mmin.
+func RequiredDevicePF(mMin, desiredYield float64) (float64, error) {
+	return yield.RequiredDevicePF(mMin, desiredYield)
+}
+
+// Row correlation (paper Section 3.1): the core contribution.
+type (
+	// RowModel is the correlated-row Monte Carlo of Table 1.
+	RowModel = rowyield.RowModel
+	// RowScenario selects a growth/layout combination.
+	RowScenario = rowyield.Scenario
+	// OffsetDist is a lateral active-offset distribution.
+	OffsetDist = rowyield.OffsetDist
+	// RowEstimate is a Monte Carlo estimate with standard error.
+	RowEstimate = rowyield.Estimate
+)
+
+// The three scenarios of Table 1.
+const (
+	UncorrelatedGrowth   = rowyield.UncorrelatedGrowth
+	DirectionalUnaligned = rowyield.DirectionalUnaligned
+	DirectionalAligned   = rowyield.DirectionalAligned
+)
+
+// MRmin returns Eq. 3.2: LCNT (nm) × density (FETs/µm).
+func MRmin(lcntNM, densityPerUM float64) (float64, error) {
+	return rowyield.MRmin(lcntNM, densityPerUM)
+}
+
+// NewOffsetDist validates and normalizes a lateral offset distribution.
+func NewOffsetDist(offsets, probs []float64) (OffsetDist, error) {
+	return rowyield.NewOffsetDist(offsets, probs)
+}
+
+// AlignedOffsets returns the degenerate offset distribution of the
+// aligned-active layout.
+func AlignedOffsets() OffsetDist { return rowyield.Aligned() }
+
+// CorrelatedYield returns Eq. 3.1: (1-pRF)^KR.
+func CorrelatedYield(kRows, pRF float64) (float64, error) {
+	return rowyield.CorrelatedYield(kRows, pRF)
+}
+
+// Aligned-active layout restriction (paper Section 3.2).
+type (
+	// AlignOptions configures the transform (Wmin, 1 or 2 bands).
+	AlignOptions = alignactive.Options
+	// CellChange records the transform's effect on one cell.
+	CellChange = alignactive.CellChange
+	// LibraryReport aggregates a whole-library transform (Table 2).
+	LibraryReport = alignactive.LibraryReport
+	// Library is a standard-cell library.
+	Library = celllib.Library
+	// Cell is one standard cell.
+	Cell = celllib.Cell
+)
+
+// NangateLike45 generates the synthetic 134-cell 45 nm library.
+func NangateLike45() (*Library, error) { return celllib.NangateLike45() }
+
+// Commercial65 generates the synthetic 775-cell 65 nm library.
+func Commercial65() (*Library, error) { return celllib.Commercial65() }
+
+// AlignCell applies the aligned-active restriction to one cell.
+func AlignCell(c *Cell, opt AlignOptions) (Cell, CellChange, error) {
+	return alignactive.AlignCell(c, opt)
+}
+
+// AlignLibrary applies the restriction to a whole library.
+func AlignLibrary(lib *Library, opt AlignOptions) (*LibraryReport, error) {
+	return alignactive.AlignLibrary(lib, opt)
+}
+
+// Growth substrate (paper Section 3.1 premise, Fig. 3.1).
+type (
+	// DirectionalGrowth grows aligned CNT tracks with LCNT segmentation.
+	DirectionalGrowth = cntgrowth.Directional
+	// UncorrelatedStickGrowth grows dispersed sticks.
+	UncorrelatedStickGrowth = cntgrowth.Uncorrelated
+	// Removal models the m-CNT removal step.
+	Removal = cntgrowth.Removal
+	// GrowthArray is a grown CNT population.
+	GrowthArray = cntgrowth.Array
+	// Region is an axis-aligned substrate rectangle (nm).
+	Region = cntgrowth.Rect
+)
+
+// Noise-margin extension (paper Section 2.1's cited side constraint: the
+// [Zhang 09b] requirement that metallic removal exceed 99.99%).
+type (
+	// NoiseParams configures the surviving-metallic-CNT noise model.
+	NoiseParams = noisemargin.Params
+)
+
+// NoiseViolationProb returns the probability a device's surviving metallic
+// tubes violate its noise margin.
+func NoiseViolationProb(countPMF dist.PMF, p NoiseParams) (float64, error) {
+	return noisemargin.ViolationProb(countPMF, p)
+}
+
+// ChipNoiseYield returns the chip-level noise-limited yield (1-p)^gates.
+func ChipNoiseYield(pViolation, gates float64) (float64, error) {
+	return noisemargin.ChipNoiseYield(pViolation, gates)
+}
+
+// RequiredPRm returns the smallest metallic-removal efficiency meeting a
+// chip-level noise-limited yield target.
+func RequiredPRm(countPMF dist.PMF, p NoiseParams, gates, desiredYield float64) (float64, error) {
+	return noisemargin.RequiredPRm(countPMF, p, gates, desiredYield)
+}
+
+// Experiments: the paper's tables and figures.
+type (
+	// Params configures the reproduction (DefaultParams freezes the paper's
+	// values).
+	Params = experiments.Params
+	// Runner executes experiments over shared state.
+	Runner = experiments.Runner
+	// Result is one regenerated artifact.
+	Result = experiments.Result
+)
+
+// DefaultParams returns the frozen paper configuration.
+func DefaultParams() Params { return experiments.DefaultParams() }
+
+// NewRunner creates an experiment runner.
+func NewRunner(p Params) *Runner { return experiments.New(p) }
+
+// ExperimentNames lists the artifact identifiers in paper order.
+func ExperimentNames() []string { return experiments.Names() }
