@@ -1,0 +1,3 @@
+module github.com/cnfet/yieldlab
+
+go 1.24
