@@ -264,6 +264,23 @@ func BenchmarkAblationLengthJitter(b *testing.B) {
 	}
 }
 
+// BenchmarkRenewalSweepCold measures a full cold arrival sweep at the
+// paper's default 0.05 nm grid up to 320 nm — the Fig. 2.1-class cost every
+// fresh device model pays once before its width cache takes over. This is
+// the headline number of the blocked/FFT convolution engine and part of the
+// CI bench gate.
+func BenchmarkRenewalSweepCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := yieldlab.NewDeviceModelWithRange(yieldlab.WorstCorner(), 0.05, 320)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.FailureProb(320); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDeviceFailureProb measures a single cached pF evaluation — the
 // inner-loop cost every chip-level optimization pays.
 func BenchmarkDeviceFailureProb(b *testing.B) {

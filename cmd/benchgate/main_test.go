@@ -1,0 +1,251 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/cnfet/yieldlab/internal/renewal
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweep/auto-8         	       3	  98343357 ns/op
+BenchmarkSweep/auto-8         	       3	  95168922 ns/op
+BenchmarkSweep/auto-8         	       3	 101310858 ns/op
+BenchmarkConvolve/fft-8       	    1342	    177273 ns/op
+BenchmarkConvolve/fft-8       	    1342	    180001 ns/op
+BenchmarkTable1-8             	       1	1943412345 ns/op
+PASS
+ok  	github.com/cnfet/yieldlab/internal/renewal	3.095s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkSweep/auto"]) != 3 {
+		t.Fatalf("auto samples: %v", got["BenchmarkSweep/auto"])
+	}
+	if len(got["BenchmarkConvolve/fft"]) != 2 {
+		t.Fatalf("fft samples: %v", got["BenchmarkConvolve/fft"])
+	}
+	if _, ok := got["BenchmarkSweep/auto-8"]; ok {
+		t.Fatal("GOMAXPROCS suffix should be stripped")
+	}
+	if len(got["BenchmarkTable1"]) != 1 {
+		t.Fatal("single-sample benchmarks should parse too")
+	}
+	if _, err := parseBench(strings.NewReader("no benchmarks here\n")); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkSweep/auto-8":   "BenchmarkSweep/auto",
+		"BenchmarkSweep/auto":     "BenchmarkSweep/auto",
+		"BenchmarkFig21-16":       "BenchmarkFig21",
+		"BenchmarkRealForward/4k": "BenchmarkRealForward/4k", // 4k is not an int
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	xs := []float64{5, 1, 3}
+	median(xs)
+	if xs[0] != 5 {
+		t.Error("median must not reorder its input")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkSweep/auto":   100,
+		"BenchmarkConvolve/fft": 200,
+		"BenchmarkGone":         50,
+	}
+	cur := map[string]float64{
+		"BenchmarkSweep/auto":   110, // +10%: within a 15% budget
+		"BenchmarkConvolve/fft": 260, // +30%: regression
+		"BenchmarkNew":          1,   // informational only
+	}
+	report, failures := compare(base, cur, 0.15)
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want fft regression + missing Gone", failures)
+	}
+	for _, frag := range []string{"BenchmarkConvolve/fft (+30.0%)", "BenchmarkGone (missing)"} {
+		found := false
+		for _, f := range failures {
+			if f == frag {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("failures %v missing %q", failures, frag)
+		}
+	}
+	if !strings.Contains(report, "BenchmarkNew") {
+		t.Error("report should mention benchmarks absent from the baseline")
+	}
+	if _, failures := compare(base, map[string]float64{
+		"BenchmarkSweep/auto":   100,
+		"BenchmarkConvolve/fft": 200,
+		"BenchmarkGone":         50,
+	}, 0.15); len(failures) != 0 {
+		t.Errorf("unchanged medians should pass, got %v", failures)
+	}
+}
+
+func TestRunUpdateThenGate(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(input, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "base.json")
+	var sb strings.Builder
+	err := run([]string{"-input", input, "-baseline", basePath, "-update", "-note", "test"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gating the same input against the fresh baseline must pass.
+	sb.Reset()
+	if err := run([]string{"-input", input, "-baseline", basePath}, &sb); err != nil {
+		t.Fatalf("self-gate failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "BenchmarkSweep/auto") {
+		t.Errorf("report missing gated benchmark:\n%s", sb.String())
+	}
+	// A 2x slower run must fail the gate.
+	slow := strings.ReplaceAll(sampleOutput, " 98343357 ns/op", " 298343357 ns/op")
+	slow = strings.ReplaceAll(slow, " 95168922 ns/op", " 295168922 ns/op")
+	slow = strings.ReplaceAll(slow, "101310858 ns/op", "301310858 ns/op")
+	slowPath := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(slowPath, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	err = run([]string{"-input", slowPath, "-baseline", basePath}, &sb)
+	if err == nil {
+		t.Fatalf("3x regression should fail the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkSweep/auto") {
+		t.Errorf("error should name the regressed benchmark: %v", err)
+	}
+	// The Monte Carlo benchmark is outside the default filter: corrupting
+	// it must not fail the gate.
+	noisy := strings.ReplaceAll(sampleOutput, "1943412345 ns/op", "9943412345 ns/op")
+	noisyPath := filepath.Join(dir, "noisy.txt")
+	if err := os.WriteFile(noisyPath, []byte(noisy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run([]string{"-input", noisyPath, "-baseline", basePath}, &sb); err != nil {
+		t.Fatalf("unfiltered benchmark noise should not gate: %v", err)
+	}
+}
+
+func TestCheckRatios(t *testing.T) {
+	cur := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 1000}
+	report, failures := checkRatios([]ratioGate{
+		{Num: "BenchmarkA", Den: "BenchmarkB", Max: 0.2},
+	}, cur)
+	if len(failures) != 0 {
+		t.Fatalf("0.1 <= 0.2 should pass: %v\n%s", failures, report)
+	}
+	_, failures = checkRatios([]ratioGate{
+		{Num: "BenchmarkA", Den: "BenchmarkB", Max: 0.05},
+	}, cur)
+	if len(failures) != 1 {
+		t.Fatalf("0.1 > 0.05 should fail: %v", failures)
+	}
+	_, failures = checkRatios([]ratioGate{
+		{Num: "BenchmarkA", Den: "BenchmarkMissing", Max: 0.5},
+	}, cur)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("missing operand should fail: %v", failures)
+	}
+	if report, failures := checkRatios(nil, cur); report != "" || failures != nil {
+		t.Fatal("no gates should produce no output")
+	}
+}
+
+func TestRunRatioGatePreservedAndEnforced(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(input, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "base.json")
+	var sb strings.Builder
+	if err := run([]string{"-input", input, "-baseline", basePath, "-update"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-add a ratio gate that the sample run violates (auto is ~550x the
+	// fft convolution median, far above 2x).
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(data), "\"benchmarks\"",
+		`"ratios": [{"num": "BenchmarkSweep/auto", "den": "BenchmarkConvolve/fft", "max": 2.0}],
+  "benchmarks"`, 1)
+	if err := os.WriteFile(basePath, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	err = run([]string{"-input", input, "-baseline", basePath}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkSweep/auto / BenchmarkConvolve/fft") {
+		t.Fatalf("violated ratio gate should fail with the gate named, got %v\n%s", err, sb.String())
+	}
+	// -update must carry the hand-curated ratio gates over.
+	sb.Reset()
+	if err := run([]string{"-input", input, "-baseline", basePath, "-update"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	refreshed, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(refreshed), "BenchmarkConvolve/fft") ||
+		!strings.Contains(string(refreshed), "\"ratios\"") {
+		t.Fatalf("refresh dropped ratio gates:\n%s", refreshed)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(input, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-input", input, "-baseline", filepath.Join(dir, "absent.json")}, &sb); err == nil {
+		t.Error("missing baseline should error")
+	}
+	if err := run([]string{"-input", input, "-filter", "("}, &sb); err == nil {
+		t.Error("bad filter should error")
+	}
+	if err := run([]string{"-input", input, "-threshold", "-1"}, &sb); err == nil {
+		t.Error("negative threshold should error")
+	}
+	if err := run([]string{"-input", input, "-filter", "NoSuchBenchmark"}, &sb); err == nil {
+		t.Error("filter matching nothing should error")
+	}
+	if err := run([]string{"-input", filepath.Join(dir, "nope.txt")}, &sb); err == nil {
+		t.Error("missing input should error")
+	}
+}

@@ -136,11 +136,19 @@ func NewFailureModel(count *renewal.Model, params FailureParams) (*FailureModel,
 // NewCalibratedModel builds a FailureModel over the calibrated pitch law.
 // Extra renewal options (grid step, max width) are passed through.
 func NewCalibratedModel(params FailureParams, opts ...renewal.Option) (*FailureModel, error) {
+	return NewCalibratedModelWith(nil, params, opts...)
+}
+
+// NewCalibratedModelWith is NewCalibratedModel drawing the count model from
+// a shared sweep cache, so models that differ only in the processing corner
+// (same pitch law, same grid) reuse one swept table. A nil cache builds a
+// private model.
+func NewCalibratedModelWith(sweeps *renewal.SweepCache, params FailureParams, opts ...renewal.Option) (*FailureModel, error) {
 	pitch, err := CalibratedPitch()
 	if err != nil {
 		return nil, fmt.Errorf("device: calibrated pitch: %w", err)
 	}
-	count, err := renewal.New(pitch, opts...)
+	count, err := sweeps.Model(pitch, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("device: count model: %w", err)
 	}
@@ -221,6 +229,11 @@ func (m *FailureModel) SurvivingMetallicPMF(w float64) (dist.PMF, error) {
 		return dist.PMF{}, err
 	}
 	q := m.params.PMetallic * (1 - m.params.PRemoveMetallic)
+	if q == 0 {
+		// Perfect removal (or no metallic CNTs at all) leaves none,
+		// independent of the count distribution.
+		return dist.PointPMF(0)
+	}
 	// P(M = j) = Σ_n P(N=n)·Binom(j; n, q): mixture of binomials.
 	out := make([]float64, pmf.Len())
 	for n := 0; n < pmf.Len(); n++ {

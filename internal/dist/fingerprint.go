@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fingerprinter is implemented by distributions whose parameters fully
+// determine their behavior, yielding a stable identity string. Fingerprints
+// key the cross-model caches: the renewal sweep cache shares one swept count
+// table between models built on the same law, and ForwardRecurrenceFor
+// shares stationary-sampler tables the same way.
+//
+// Two fingerprints are equal iff the distributions are numerically
+// identical (parameters compared by exact float64 bits), so a cache hit can
+// never change a result.
+type Fingerprinter interface {
+	// Fingerprint returns the law's identity string. It must be stable
+	// across processes and collision-free across different parameters.
+	Fingerprint() string
+}
+
+// Fingerprint returns the law's identity string and whether the law
+// provides one. Laws without a fingerprint cannot be cached across models.
+func Fingerprint(d Continuous) (string, bool) {
+	f, ok := d.(Fingerprinter)
+	if !ok {
+		return "", false
+	}
+	return f.Fingerprint(), true
+}
+
+// hexBits renders a float64 through its exact bit pattern, so fingerprints
+// distinguish values a decimal format would conflate (and normalize nothing:
+// -0 and +0 differ, as do NaN payloads — construction validation rejects
+// those anyway).
+func hexBits(v float64) string {
+	return fmt.Sprintf("%016x", math.Float64bits(v))
+}
+
+// Fingerprint implements Fingerprinter.
+func (e Exponential) Fingerprint() string {
+	return "exp:" + hexBits(e.Rate)
+}
+
+// Fingerprint implements Fingerprinter.
+func (d Deterministic) Fingerprint() string {
+	return "det:" + hexBits(d.V)
+}
+
+// Fingerprint implements Fingerprinter. The parent parameters and bounds
+// fully determine a truncated normal; the precomputed moments derive from
+// them.
+func (t TruncNormal) Fingerprint() string {
+	return "tnorm:" + hexBits(t.Mu) + ":" + hexBits(t.Sigma) + ":" + hexBits(t.Lower) + ":" + hexBits(t.Upper)
+}

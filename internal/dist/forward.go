@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/cnfet/yieldlab/internal/numeric"
 )
@@ -31,6 +32,53 @@ type ForwardRecurrence struct {
 // of the support per cell the interpolation error of the smooth equilibrium
 // CDF is far below Monte Carlo resolution.
 const forwardRecurrenceCells = 4096
+
+// frCache shares the immutable 4096-cell samplers between models built on
+// the same spacing law, keyed by the law's fingerprint. Parameter sweeps
+// construct thousands of RowModel instances over a handful of laws; without
+// the cache each one re-integrates its own table. The entry count is capped
+// so a sweep over the law parameters themselves (every variant a distinct
+// fingerprint) cannot pin unbounded memory for the process lifetime — past
+// the cap, extra laws simply get private GC-able tables.
+var (
+	frCacheMu sync.Mutex
+	frCache   = make(map[string]*ForwardRecurrence)
+)
+
+const frCacheMax = 64
+
+// ForwardRecurrenceFor returns the stationary first-gap sampler for
+// spacing, sharing one table per distinct law when the law carries a
+// Fingerprint (all the built-in laws do). Laws without a fingerprint get a
+// fresh table, exactly as NewForwardRecurrence.
+func ForwardRecurrenceFor(spacing Continuous) (*ForwardRecurrence, error) {
+	if spacing == nil {
+		return nil, errors.New("dist: nil spacing distribution")
+	}
+	key, ok := Fingerprint(spacing)
+	if !ok {
+		return NewForwardRecurrence(spacing)
+	}
+	frCacheMu.Lock()
+	fr, hit := frCache[key]
+	frCacheMu.Unlock()
+	if hit {
+		return fr, nil
+	}
+	fr, err := NewForwardRecurrence(spacing)
+	if err != nil {
+		return nil, err
+	}
+	frCacheMu.Lock()
+	defer frCacheMu.Unlock()
+	if prior, raced := frCache[key]; raced {
+		return prior, nil
+	}
+	if len(frCache) < frCacheMax {
+		frCache[key] = fr
+	}
+	return fr, nil
+}
 
 // NewForwardRecurrence builds the stationary first-gap sampler for spacing.
 func NewForwardRecurrence(spacing Continuous) (*ForwardRecurrence, error) {

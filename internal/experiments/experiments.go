@@ -143,6 +143,10 @@ func (r *Result) Text() string {
 // expensive renewal sweeps.
 type Runner struct {
 	params Params
+	// sweeps shares swept renewal count tables between every model the
+	// runner builds: the three Fig. 2.1 corners, the pitch-law ablation and
+	// repeated experiment runs all hit one table per distinct law+grid.
+	sweeps *renewal.SweepCache
 
 	mu         sync.Mutex
 	model      *device.FailureModel
@@ -156,8 +160,17 @@ type Runner struct {
 
 // New creates a runner; the parameters are validated on first use.
 func New(p Params) *Runner {
-	return &Runner{params: p, solveCache: make(map[float64]float64)}
+	return &Runner{
+		params:     p,
+		sweeps:     renewal.NewSweepCache(),
+		solveCache: make(map[float64]float64),
+	}
 }
+
+// SweepCache exposes the runner's shared renewal sweep cache, so callers
+// embedding the runner in a longer-lived service can pool further model
+// construction on it.
+func (r *Runner) SweepCache() *renewal.SweepCache { return r.sweeps }
 
 // Params returns the runner's configuration.
 func (r *Runner) Params() Params { return r.params }
@@ -219,7 +232,7 @@ func (r *Runner) failureModel() (*device.FailureModel, error) {
 	if err := r.params.Validate(); err != nil {
 		return nil, err
 	}
-	m, err := device.NewCalibratedModel(device.WorstCorner(),
+	m, err := device.NewCalibratedModelWith(r.sweeps, device.WorstCorner(),
 		renewal.WithStep(r.params.GridStepNM), renewal.WithMaxWidth(r.params.MaxWidthNM))
 	if err != nil {
 		return nil, err

@@ -179,6 +179,24 @@ func TestRunnerSharesModelAcrossExperiments(t *testing.T) {
 	}
 }
 
+// The runner's sweep cache must dedupe count-model construction: the
+// pitch-law ablation re-requests the calibrated law the failure model was
+// already built on (a hit), while its exponential and deterministic laws
+// are genuinely new (misses).
+func TestRunnerSweepCacheSharesAcrossModels(t *testing.T) {
+	r := New(fastParams())
+	if _, err := r.failureModel(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ExtPitchAblation(); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := r.SweepCache().Stats()
+	if hits != 1 || misses != 3 {
+		t.Fatalf("sweep cache stats = (%d hits, %d misses), want (1, 3)", hits, misses)
+	}
+}
+
 // Reproducibility: two independent runners with the same seed produce
 // byte-identical Table 1 outputs regardless of worker scheduling.
 func TestTable1Deterministic(t *testing.T) {

@@ -103,7 +103,7 @@ func (r *Runner) ExtPitchAblation() (*Result, error) {
 		return nil, err
 	}
 	for _, tc := range cases {
-		count, err := renewal.New(tc.pitch, renewal.WithStep(r.params.GridStepNM),
+		count, err := r.sweeps.Model(tc.pitch, renewal.WithStep(r.params.GridStepNM),
 			renewal.WithMaxWidth(r.params.MaxWidthNM))
 		if err != nil {
 			return nil, err

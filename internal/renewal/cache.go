@@ -1,0 +1,93 @@
+package renewal
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/cnfet/yieldlab/internal/dist"
+)
+
+// SweepCache shares renewal Models — and therefore their swept count
+// tables — between callers whose spacing law and grid coincide. The paper's
+// three Fig. 2.1 process corners, the Table 1/Table 2 scenarios and every
+// Wmin search differ only in the per-CNT failure probability pf, which
+// enters after the count distribution (Eq. 2.2 evaluates the PGF at pf), so
+// one swept table serves them all; the cache makes that sharing automatic
+// wherever models are built, not just where one happens to be threaded
+// through by hand.
+//
+// Keys combine the law's dist.Fingerprint with every Model option that
+// affects the numbers (grid step, max width, tail epsilon, initial
+// condition, convolution mode), so a cache hit can never change a result.
+// Laws without a fingerprint get a fresh model each call.
+//
+// A SweepCache is safe for concurrent use. Models grow their internal width
+// cache monotonically and are themselves concurrency-safe, so handing one
+// model to many goroutines is the intended use.
+type SweepCache struct {
+	mu     sync.Mutex
+	models map[string]*Model
+	hits   uint64
+	misses uint64
+}
+
+// NewSweepCache returns an empty cache.
+func NewSweepCache() *SweepCache {
+	return &SweepCache{models: make(map[string]*Model)}
+}
+
+// Model returns the shared count model for the law and options, building it
+// on first use. Passing a nil *SweepCache is allowed and degrades to
+// renewal.New.
+func (c *SweepCache) Model(spacing dist.Continuous, opts ...Option) (*Model, error) {
+	if c == nil {
+		return New(spacing, opts...)
+	}
+	m, err := newConfigured(spacing, opts...)
+	if err != nil {
+		return nil, err
+	}
+	fp, ok := dist.Fingerprint(spacing)
+	if !ok {
+		m.finish()
+		return m, nil
+	}
+	key := fmt.Sprintf("%s|step=%016x|max=%016x|eps=%016x|ord=%t|conv=%d",
+		fp, math.Float64bits(m.step), math.Float64bits(m.maxWidth),
+		math.Float64bits(m.tailEps), m.ordinary, m.convMode)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shared, hit := c.models[key]; hit {
+		c.hits++
+		return shared, nil
+	}
+	c.misses++
+	// Discretization runs under the lock: it is far cheaper than the sweeps
+	// the cache exists to share, and holding the lock keeps concurrent
+	// first-callers from building duplicate models.
+	m.finish()
+	c.models[key] = m
+	return m, nil
+}
+
+// Len returns the number of distinct models built so far.
+func (c *SweepCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.models)
+}
+
+// Stats returns how many Model calls were served from the cache (hits) and
+// how many built a model (misses). Unfingerprinted laws count as neither.
+func (c *SweepCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,326 @@
+package renewal
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cnfet/yieldlab/internal/fft"
+)
+
+// ConvMode selects the convolution kernel used by the arrival sweep.
+type ConvMode int
+
+const (
+	// AutoConv picks per convolution between the blocked direct kernel and
+	// FFT convolution based on the calibrated crossover (the default).
+	AutoConv ConvMode = iota
+	// DirectConv forces the naive direct kernel (the reference path).
+	DirectConv
+	// BlockedConv forces the register-blocked direct kernel.
+	BlockedConv
+	// FFTConv forces FFT convolution regardless of support size.
+	FFTConv
+)
+
+// WithConvMode overrides the sweep's convolution kernel selection. The
+// default AutoConv is right for everything except correctness tests and
+// calibration benchmarks.
+func WithConvMode(mode ConvMode) Option { return func(m *Model) { m.convMode = mode } }
+
+// Crossover model: one direct convolution costs (support cells)·(kernel
+// taps) multiply-adds; one FFT convolution of padded size N costs roughly
+// N·log2(N) "butterfly units", each fftCostRatio times more expensive than a
+// direct multiply-add. The ratio ships with a conservative default measured
+// on commodity x86 and can be re-measured on the host with Calibrate.
+const defaultFFTCostRatio = 4.0
+
+// blockedMinTaps is the smallest kernel length worth the blocked kernel's
+// edge handling; below it the plain direct loop wins.
+const blockedMinTaps = 8
+
+var fftCostRatioBits atomic.Uint64
+
+func init() { fftCostRatioBits.Store(math.Float64bits(defaultFFTCostRatio)) }
+
+// fftCostRatio returns the current crossover constant.
+func fftCostRatio() float64 { return math.Float64frombits(fftCostRatioBits.Load()) }
+
+// SetFFTCostRatio overrides the crossover constant (cost of one FFT
+// butterfly unit in direct multiply-adds). Exposed for tests; most callers
+// want Calibrate.
+func SetFFTCostRatio(r float64) {
+	if r > 0 && !math.IsInf(r, 0) && !math.IsNaN(r) {
+		fftCostRatioBits.Store(math.Float64bits(r))
+	}
+}
+
+// Calibrate times the blocked direct kernel against FFT convolution on a
+// sweep-shaped workload and installs the measured crossover ratio, returning
+// it. It runs in a few tens of milliseconds and is safe to call
+// concurrently with sweeps; benchmarks and long-lived servers can call it
+// once at startup for machine-accurate kernel selection.
+func Calibrate() float64 {
+	const (
+		supp = 6144 // d-support cells, mid-sweep shaped
+		taps = 1024 // kernel cells
+		reps = 3
+	)
+	d := make([]float64, supp)
+	f := make([]float64, taps)
+	for i := range d {
+		d[i] = 1 / float64(supp)
+	}
+	for i := range f {
+		f[i] = 1 / float64(taps)
+	}
+	dst := make([]float64, supp+taps)
+
+	directNS := math.MaxFloat64
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		for i := range dst {
+			dst[i] = 0
+		}
+		convolveBlocked(dst, d, f, 0, supp)
+		if ns := float64(time.Since(t0).Nanoseconds()); ns < directNS {
+			directNS = ns
+		}
+	}
+	directUnit := directNS / (supp * taps)
+
+	n := fft.NextPow2(supp + taps - 1)
+	plan := planFor(n)
+	spec := make([]complex128, plan.SpectrumLen())
+	fs := make([]complex128, plan.SpectrumLen())
+	work := make([]complex128, n/2)
+	out := make([]float64, n)
+	fftNS := math.MaxFloat64
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		plan.RealForward(fs, f)
+		plan.RealForward(spec, d)
+		fft.MulSpectra(spec, spec, fs)
+		plan.RealInverse(out, spec, work)
+		if ns := float64(time.Since(t0).Nanoseconds()); ns < fftNS {
+			fftNS = ns
+		}
+	}
+	// The sweep transforms d and inverts once per step; the kernel spectrum
+	// is cached, so charge 2/3 of the measured three-transform cost.
+	fftUnit := fftNS * 2 / 3 / (float64(n) * math.Log2(float64(n)))
+
+	ratio := fftUnit / directUnit
+	SetFFTCostRatio(ratio)
+	return ratio
+}
+
+// planCache shares FFT plans (immutable twiddle tables) across all models.
+var planCache sync.Map // int → *fft.Plan
+
+func planFor(n int) *fft.Plan {
+	if p, ok := planCache.Load(n); ok {
+		return p.(*fft.Plan)
+	}
+	p, err := fft.NewPlan(n)
+	if err != nil {
+		panic(err) // n comes from NextPow2: unreachable
+	}
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*fft.Plan)
+}
+
+// convState carries the per-sweep scratch for kernel dispatch: FFT buffers
+// and the kernel spectra cached per padded size. It is created per sweep
+// call, so concurrent sweeps never share mutable state.
+type convState struct {
+	mode  ConvMode
+	f     []float64            // pitch kernel
+	fSpec map[int][]complex128 // padded size → cached spectrum of f
+	spec  []complex128         // d spectrum scratch
+	work  []complex128         // inverse-transform scratch
+	out   []float64            // full conv output scratch
+}
+
+func newConvState(mode ConvMode, f []float64) *convState {
+	return &convState{mode: mode, f: f, fSpec: make(map[int][]complex128)}
+}
+
+// convolve computes dst = d ⊛ f truncated to len(dst), given that d is zero
+// outside [lo, hi). dst is fully overwritten; entries outside the reachable
+// output range [lo, min(len(dst), hi+len(f)-1)) are exact zeros.
+func (cs *convState) convolve(dst, d []float64, lo, hi int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	n := len(dst)
+	if lo >= hi {
+		return
+	}
+	outEnd := hi + len(cs.f) - 1
+	if outEnd > n {
+		outEnd = n
+	}
+	mode := cs.mode
+	if mode == AutoConv {
+		mode = BlockedConv
+		taps := len(cs.f)
+		if reach := outEnd - lo; reach < taps {
+			taps = reach
+		}
+		directCost := float64(hi-lo) * float64(taps)
+		padded := fft.NextPow2(hi - lo + len(cs.f) - 1)
+		fftCost := fftCostRatio() * float64(padded) * math.Log2(float64(padded))
+		if directCost > fftCost {
+			mode = FFTConv
+		}
+	}
+	switch mode {
+	case DirectConv:
+		convolveFrom(dst, d, cs.f, lo)
+	case BlockedConv:
+		convolveBlocked(dst, d, cs.f, lo, hi)
+	case FFTConv:
+		cs.convolveFFT(dst, d, lo, hi, outEnd)
+	}
+}
+
+// convolveFFT multiplies in the spectral domain. Roundoff can leave tiny
+// negative values where the true convolution is ~0; they are clamped so the
+// sweep's probability invariants survive.
+func (cs *convState) convolveFFT(dst, d []float64, lo, hi, outEnd int) {
+	padded := fft.NextPow2(hi - lo + len(cs.f) - 1)
+	plan := planFor(padded)
+	fs, ok := cs.fSpec[padded]
+	if !ok {
+		fs = make([]complex128, plan.SpectrumLen())
+		plan.RealForward(fs, cs.f)
+		cs.fSpec[padded] = fs
+	}
+	if cap(cs.spec) < plan.SpectrumLen() {
+		cs.spec = make([]complex128, plan.SpectrumLen())
+	}
+	spec := cs.spec[:plan.SpectrumLen()]
+	if cap(cs.work) < padded/2 {
+		cs.work = make([]complex128, padded/2)
+	}
+	if cap(cs.out) < padded {
+		cs.out = make([]float64, padded)
+	}
+	out := cs.out[:padded]
+	plan.RealForward(spec, d[lo:hi])
+	fft.MulSpectra(spec, spec, fs)
+	plan.RealInverse(out, spec, cs.work[:padded/2])
+	total := 0.0
+	for i, v := range out[:outEnd-lo] {
+		if v > 0 {
+			dst[lo+i] = v
+			total += v
+		}
+	}
+	// Denoise the tails: spectral roundoff leaves ~1e-16·mass of positive
+	// noise smeared across the true-zero tail cells, which would otherwise
+	// defeat the sweep's support trimming (and with it the shrinking FFT
+	// sizes). Tail mass below 1e-18 of the result's total is
+	// indistinguishable from that noise — the kernel's intrinsic error is
+	// ~1e-15 of the mass — so zero it from both ends.
+	floor := 1e-18 * total
+	var acc float64
+	i := lo
+	for ; i < outEnd; i++ {
+		acc += dst[i]
+		if acc > floor {
+			break
+		}
+		dst[i] = 0
+	}
+	acc = 0
+	for j := outEnd - 1; j > i; j-- {
+		acc += dst[j]
+		if acc > floor {
+			break
+		}
+		dst[j] = 0
+	}
+}
+
+// convolveBlocked is the register-blocked direct kernel: four source cells
+// per pass share each loaded output cell, quartering the dst load/store
+// traffic of convolveFrom. Results match convolveFrom up to float addition
+// order. d must be zero outside [lo, hi); dst must be pre-zeroed.
+func convolveBlocked(dst, d, f []float64, lo, hi int) {
+	n := len(dst)
+	nf := len(f)
+	if hi > n {
+		hi = n
+	}
+	if nf < blockedMinTaps {
+		convolveFrom(dst, d, f, lo)
+		return
+	}
+	j := lo
+	for ; j+4 <= hi; j += 4 {
+		d0, d1, d2, d3 := d[j], d[j+1], d[j+2], d[j+3]
+		if d0 == 0 && d1 == 0 && d2 == 0 && d3 == 0 {
+			continue
+		}
+		end := j + nf + 3 // exclusive bound of the quad's reachable outputs
+		if end > n {
+			end = n
+		}
+		// Head cells where the younger taps are still out of range.
+		if j < end {
+			dst[j] += d0 * f[0]
+		}
+		if j+1 < end {
+			dst[j+1] += d0*f[1] + d1*f[0]
+		}
+		if j+2 < end {
+			dst[j+2] += d0*f[2] + d1*f[1] + d2*f[0]
+		}
+		// Main run: all four taps in range. The four kernel windows are
+		// pre-sliced to the output length so the loop carries no bounds
+		// checks.
+		mEnd := j + nf
+		if mEnd > end {
+			mEnd = end
+		}
+		if mEnd > j+3 {
+			out := dst[j+3 : mEnd]
+			f0 := f[3 : 3+len(out)]
+			f1 := f[2 : 2+len(out)]
+			f2 := f[1 : 1+len(out)]
+			f3 := f[0:len(out)]
+			for i := range out {
+				out[i] += d0*f0[i] + d1*f1[i] + d2*f2[i] + d3*f3[i]
+			}
+		}
+		// Tail cells where the older taps have run off the kernel.
+		if x := j + nf; x < end {
+			dst[x] += d1*f[nf-1] + d2*f[nf-2] + d3*f[nf-3]
+		}
+		if x := j + nf + 1; x < end {
+			dst[x] += d2*f[nf-1] + d3*f[nf-2]
+		}
+		if x := j + nf + 2; x < end {
+			dst[x] += d3 * f[nf-1]
+		}
+	}
+	// Scalar remainder.
+	for ; j < hi; j++ {
+		dv := d[j]
+		if dv == 0 {
+			continue
+		}
+		lim := n - j
+		if lim > nf {
+			lim = nf
+		}
+		df := dst[j : j+lim]
+		ff := f[:lim]
+		for i := range ff {
+			df[i] += dv * ff[i]
+		}
+	}
+}

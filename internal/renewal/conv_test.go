@@ -1,0 +1,254 @@
+package renewal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/dist"
+)
+
+// refConvolve is the plain truncated convolution both fast kernels must
+// reproduce: dst = (d ⊛ f)[0:len(d)].
+func refConvolve(d, f []float64) []float64 {
+	dst := make([]float64, len(d))
+	for j, dv := range d {
+		if dv == 0 {
+			continue
+		}
+		for i, fv := range f {
+			if j+i >= len(dst) {
+				break
+			}
+			dst[j+i] += dv * fv
+		}
+	}
+	return dst
+}
+
+// randomSupport builds a non-negative vector of length n that is zero
+// outside [lo, hi).
+func randomSupport(r *rand.Rand, n, lo, hi int) []float64 {
+	v := make([]float64, n)
+	for j := lo; j < hi; j++ {
+		v[j] = r.Float64() / float64(hi-lo)
+	}
+	return v
+}
+
+// Property test: the blocked and FFT kernels match the direct kernel across
+// random supports, including odd lengths and near-power-of-2 sizes.
+func TestConvolveKernelsMatchDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	type shape struct{ n, lo, hi, nf int }
+	shapes := []shape{
+		{16, 0, 16, 4},    // below blockedMinTaps: blocked falls back
+		{33, 0, 33, 9},    // odd lengths
+		{127, 3, 77, 31},  // offset support, odd kernel
+		{128, 0, 128, 64}, // exact powers of two
+		{129, 1, 100, 65}, // near powers of two
+		{1000, 250, 600, 255},
+		{1024, 1023, 1024, 17}, // single-cell support at the edge
+		{500, 10, 11, 490},     // kernel longer than support
+	}
+	for trial := 0; trial < 40; trial++ {
+		s := shapes[trial%len(shapes)]
+		d := randomSupport(r, s.n, s.lo, s.hi)
+		f := make([]float64, s.nf)
+		for i := range f {
+			f[i] = r.Float64() / float64(s.nf)
+		}
+		want := refConvolve(d, f)
+
+		blocked := make([]float64, s.n)
+		convolveBlocked(blocked, d, f, s.lo, s.hi)
+
+		cs := newConvState(FFTConv, f)
+		viaFFT := make([]float64, s.n)
+		cs.convolve(viaFFT, d, s.lo, s.hi)
+
+		auto := newConvState(AutoConv, f)
+		viaAuto := make([]float64, s.n)
+		auto.convolve(viaAuto, d, s.lo, s.hi)
+
+		scale := 0.0
+		for _, v := range want {
+			if v > scale {
+				scale = v
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		for i := range want {
+			if math.Abs(blocked[i]-want[i]) > 1e-13*scale {
+				t.Fatalf("shape %+v: blocked[%d] = %g want %g", s, i, blocked[i], want[i])
+			}
+			if math.Abs(viaFFT[i]-want[i]) > 1e-12*scale {
+				t.Fatalf("shape %+v: fft[%d] = %g want %g", s, i, viaFFT[i], want[i])
+			}
+			if math.Abs(viaAuto[i]-want[i]) > 1e-12*scale {
+				t.Fatalf("shape %+v: auto[%d] = %g want %g", s, i, viaAuto[i], want[i])
+			}
+		}
+	}
+}
+
+// The FFT kernel must never leave negative mass behind.
+func TestConvolveFFTNonNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	d := randomSupport(r, 2000, 0, 1200)
+	f := make([]float64, 700)
+	for i := range f {
+		f[i] = r.Float64() / 700
+	}
+	cs := newConvState(FFTConv, f)
+	dst := make([]float64, 2000)
+	cs.convolve(dst, d, 0, 1200)
+	for i, v := range dst {
+		if v < 0 {
+			t.Fatalf("negative mass %g at %d", v, i)
+		}
+	}
+}
+
+// sweepLaws are the three spacing laws the acceptance criteria name.
+func sweepLaws(t *testing.T) []struct {
+	name string
+	law  dist.Continuous
+} {
+	t.Helper()
+	tn, err := dist.TruncNormalWithMean(4, 9.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name string
+		law  dist.Continuous
+	}{
+		{"truncnormal", tn},
+		{"exponential", dist.Exponential{Rate: 0.25}},
+		{"deterministic", dist.Deterministic{V: 4}},
+	}
+}
+
+// The FFT/auto sweeps must match the direct sweep to ≤ 1e-12 normwise
+// relative error (the PMFs have unit mass, so normwise relative and absolute
+// coincide). Individual probabilities below the sweep's own truncation floor
+// (tailEps = 1e-15) carry no meaning in either path and are not compared in
+// relative terms; the paper-anchor pF values — sums weighted toward the
+// meaningful part of the distribution — must agree much tighter.
+func TestSweepKernelEquivalence(t *testing.T) {
+	const pf = 0.531
+	for _, tc := range sweepLaws(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			direct, err := New(tc.law, WithStep(0.05), WithMaxWidth(200), WithConvMode(DirectConv))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []struct {
+				name string
+				mode ConvMode
+			}{{"fft", FFTConv}, {"auto", AutoConv}, {"blocked", BlockedConv}} {
+				m, err := New(tc.law, WithStep(0.05), WithMaxWidth(200), WithConvMode(mode.mode))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range []float64{10, 55.5, 103, 155, 200} {
+					a, err := direct.CountPMF(w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := m.CountPMF(w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					n := a.Len()
+					if b.Len() > n {
+						n = b.Len()
+					}
+					for k := 0; k < n; k++ {
+						if d := math.Abs(a.Prob(k) - b.Prob(k)); d > 1e-12 {
+							t.Errorf("%s w=%g: |Δ P(N=%d)| = %.3g exceeds 1e-12 (direct %g, %s %g)",
+								mode.name, w, k, d, a.Prob(k), mode.name, b.Prob(k))
+						}
+					}
+					// pF values at or above the paper-anchor scale must agree
+					// tightly in relative terms; deeper values sit at the
+					// direct path's own roundoff floor (ulp-level reordering
+					// moves them by ~1e-5 relative), so compare absolutely.
+					pfa, pfb := a.PGF(pf), b.PGF(pf)
+					if pfa >= 1e-9 {
+						if rel := math.Abs(pfa-pfb) / pfa; rel > 1e-6 {
+							t.Errorf("%s w=%g: pF %g vs %g (rel %.3g)", mode.name, w, pfa, pfb, rel)
+						}
+					} else if d := math.Abs(pfa - pfb); d > 1e-14 {
+						t.Errorf("%s w=%g: pF %g vs %g (|Δ| %.3g)", mode.name, w, pfa, pfb, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The paper's pF(155 nm) ≈ 3.11e-9 anchor must hold on the fast path to
+// float-noise precision of the direct path's value.
+func TestAnchorPF155AcrossKernels(t *testing.T) {
+	tn, err := dist.TruncNormalWithMean(4, 9.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref float64
+	for _, mode := range []ConvMode{DirectConv, BlockedConv, FFTConv, AutoConv} {
+		m, err := New(tn, WithStep(0.05), WithMaxWidth(440), WithConvMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmf, err := m.CountPMF(155)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf := pmf.PGF(0.531)
+		if pf < 2.8e-9 || pf > 3.4e-9 {
+			t.Fatalf("mode %d: pF(155) = %g outside the paper anchor band", mode, pf)
+		}
+		if mode == DirectConv {
+			ref = pf
+			continue
+		}
+		if rel := math.Abs(pf-ref) / ref; rel > 1e-6 {
+			t.Errorf("mode %d: pF(155) = %.15g vs direct %.15g (rel %.3g)", mode, pf, ref, rel)
+		}
+	}
+}
+
+func TestCalibrateSetsSaneRatio(t *testing.T) {
+	old := fftCostRatio()
+	defer SetFFTCostRatio(old)
+	ratio := Calibrate()
+	if !(ratio > 0.01 && ratio < 1000) {
+		t.Fatalf("implausible calibrated ratio %g", ratio)
+	}
+	if got := fftCostRatio(); got != ratio {
+		t.Fatalf("ratio not installed: %g vs %g", got, ratio)
+	}
+	// Invalid overrides must be ignored.
+	SetFFTCostRatio(math.NaN())
+	if got := fftCostRatio(); got != ratio {
+		t.Fatalf("NaN override should be ignored, got %g", got)
+	}
+}
+
+func TestWithConvModeOption(t *testing.T) {
+	tn, err := dist.TruncNormalWithMean(4, 9.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(tn, WithStep(0.1), WithMaxWidth(60), WithConvMode(FFTConv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.convMode != FFTConv {
+		t.Fatalf("convMode = %d, want %d", m.convMode, FFTConv)
+	}
+}

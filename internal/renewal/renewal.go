@@ -48,6 +48,8 @@ type Model struct {
 	tailEps  float64
 	ordinary bool
 
+	convMode ConvMode
+
 	fMass []float64 // pitch mass at grid points j·h
 	gMass []float64 // first-arrival mass at grid points j·h
 
@@ -74,6 +76,17 @@ func Ordinary() Option { return func(m *Model) { m.ordinary = true } }
 
 // New builds a count model for the given pitch distribution.
 func New(spacing dist.Continuous, opts ...Option) (*Model, error) {
+	m, err := newConfigured(spacing, opts...)
+	if err != nil {
+		return nil, err
+	}
+	m.finish()
+	return m, nil
+}
+
+// newConfigured validates the configuration without paying for the grid
+// discretization, so SweepCache can compute a cache key first.
+func newConfigured(spacing dist.Continuous, opts ...Option) (*Model, error) {
 	if spacing == nil {
 		return nil, errors.New("renewal: nil spacing distribution")
 	}
@@ -100,10 +113,14 @@ func New(spacing dist.Continuous, opts ...Option) (*Model, error) {
 	if mean < 4*m.step {
 		return nil, fmt.Errorf("renewal: grid step %g too coarse for mean pitch %g", m.step, mean)
 	}
+	return m, nil
+}
+
+// finish bins the distributions onto the grid and seeds the width cache.
+func (m *Model) finish() {
 	m.discretize()
 	// Index 0 (sub-grid window) always holds zero CNTs.
 	m.cache[0] = mustPoint(0)
-	return m, nil
 }
 
 // Spacing returns the pitch distribution the model was built with.
@@ -273,8 +290,9 @@ func (m *Model) CountPMFs(ws []float64) ([]dist.PMF, error) {
 // sweep runs the arrival-position convolution once and caches the count PMF
 // for every grid index up to maxIdx, so later queries anywhere below the
 // sweep horizon are free. A sweep costs one discrete convolution per arrival
-// order k; the per-k prefix sum that serves all indexes at once is what
-// makes whole-curve generation cheap.
+// order k — dispatched per step between the direct, blocked and FFT kernels
+// (see conv.go) — and the per-k prefix sum that serves all indexes at once
+// is what makes whole-curve generation cheap.
 func (m *Model) sweep(maxIdx int) error {
 	m.mu.Lock()
 	if m.sweptTo >= maxIdx {
@@ -286,65 +304,101 @@ func (m *Model) sweep(maxIdx int) error {
 	if maxIdx == 0 {
 		return nil
 	}
-	// pGE[idx-1][k-1] = P(N(idx·h) ≥ k); built incrementally per k.
-	pGE := make([][]float64, maxIdx)
-	for i := range pGE {
-		pGE[i] = make([]float64, 0, 32)
-	}
+	n := maxIdx
+	// rows[k-1][j] = P(T_k < (j+1)·h) = P(N((j+1)·h) ≥ k): one prefix-sum
+	// row per arrival order. Row-major writes keep the hot loop streaming;
+	// the per-width assembly below reads columns once at the end.
+	rows := make([][]float64, 0, 64)
 
-	// d = distribution of the k-th CNT position, on grid cells [0, maxIdx).
+	// d = distribution of the k-th CNT position, on grid cells [0, n).
 	// Positions ≥ the largest window edge never contribute, so the vector is
-	// truncated at maxIdx. loIdx trims the numerically dead low tail that
-	// builds up as arrival positions drift right with k.
-	d := make([]float64, maxIdx)
-	copy(d, m.gMass[:min(len(m.gMass), maxIdx)])
-	next := make([]float64, maxIdx)
-	loIdx := 0
+	// truncated at n. The support window [lo, hi) tracks where d is nonzero:
+	// lo advances as the numerically dead low tail builds up with k, hi grows
+	// by one kernel length per convolution until it hits the truncation.
+	d := make([]float64, n)
+	copy(d, m.gMass[:min(len(m.gMass), n)])
+	next := make([]float64, n)
+	lo := 0
+	hi := min(len(m.gMass), n)
+	// scale is the exact power-of-two factor taken out of d: true mass =
+	// scale·Σd. Rescaling keeps d's entries O(1) however deep the tail
+	// decays, so the FFT kernel's roundoff — relative to the vector norm,
+	// not to individual entries — shrinks along with the remaining mass and
+	// the tail convergence check below stays trustworthy.
+	scale := 1.0
+	cs := newConvState(m.convMode, m.fMass)
 	const trimEps = 1e-25
+	const rescaleBelow = 0x1p-30
 
 	const hardCap = 1 << 14
 	for k := 1; k <= hardCap; k++ {
 		// One prefix-sum pass serves every index:
 		// P(T_k < idx·h) = Σ_{j<idx} d[j].
+		row := make([]float64, n)
 		var running float64
-		for j := 0; j < maxIdx; j++ {
-			if j >= loIdx {
-				running += d[j]
-			}
-			pGE[j] = append(pGE[j], running)
+		for j := lo; j < n; j++ {
+			running += d[j]
+			row[j] = scale * running
 		}
-		// pGE[j] stores P(T_k < (j+1)·h); window index idx reads slot idx-1.
+		rows = append(rows, row)
+		// row[j] stores P(T_k < (j+1)·h); window index idx reads slot idx-1.
 		// The final running value is the widest window's tail, which bounds
 		// every other window's, so it alone decides convergence.
-		if running < m.tailEps {
+		if scale*running < m.tailEps {
 			break
 		}
 		if k == hardCap {
 			return fmt.Errorf("renewal: arrival sweep did not converge within %d terms", hardCap)
 		}
-		convolveFrom(next, d, m.fMass, loIdx)
+		cs.convolve(next, d, lo, hi)
 		d, next = next, d
-		// Advance the trim point: everything below it carries negligible
-		// probability and cannot affect any window by more than trimEps·k.
+		hi = min(n, hi+len(m.fMass)-1)
+		// Trim the numerically dead tails on both sides: mass below lo (or
+		// above hi) is negligible and cannot affect any window by more than
+		// trimEps·k. The high trim matters early, when the structural
+		// support growth of one kernel length per step far outruns the true
+		// ~10σ√k upper tail, and it is what keeps the FFT padding small.
 		var acc float64
-		for loIdx < maxIdx-1 {
-			acc += d[loIdx]
-			if acc > trimEps {
+		for lo < n-1 {
+			acc += d[lo]
+			if scale*acc > trimEps {
 				break
 			}
-			d[loIdx] = 0
-			loIdx++
+			d[lo] = 0
+			lo++
+		}
+		acc = 0
+		for hi > lo+1 {
+			acc += d[hi-1]
+			if scale*acc > trimEps {
+				break
+			}
+			d[hi-1] = 0
+			hi--
+		}
+		if running > 0 && running < rescaleBelow {
+			// Pull the decayed mass back to O(1) by an exact power of two.
+			exp := math.Ilogb(running)
+			factor := math.Ldexp(1, -exp)
+			for j := lo; j < hi; j++ {
+				d[j] *= factor
+			}
+			scale = math.Ldexp(scale, exp)
 		}
 	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	ge := make([]float64, len(rows))
 	for j := 0; j < maxIdx; j++ {
 		idx := j + 1
 		if _, ok := m.cache[idx]; ok && idx <= m.sweptTo {
 			continue
 		}
-		pmf, err := assemblePMF(pGE[j], m.tailEps)
+		for k := range rows {
+			ge[k] = rows[k][j]
+		}
+		pmf, err := assemblePMF(ge, m.tailEps)
 		if err != nil {
 			return fmt.Errorf("renewal: width index %d: %w", idx, err)
 		}
@@ -413,11 +467,4 @@ func mustPoint(k int) dist.PMF {
 		panic(err)
 	}
 	return p
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -74,7 +74,10 @@ func (m *RowModel) Prepare() error {
 	if m.fr != nil {
 		return nil
 	}
-	fr, err := dist.NewForwardRecurrence(m.Pitch)
+	// The cached constructor shares one table per distinct pitch law, so
+	// parameter sweeps building thousands of RowModels pay for one
+	// integration.
+	fr, err := dist.ForwardRecurrenceFor(m.Pitch)
 	if err != nil {
 		return fmt.Errorf("rowyield: stationary sampler: %w", err)
 	}

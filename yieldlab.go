@@ -73,6 +73,29 @@ func NewDeviceModelWithRange(p FailureParams, stepNM, maxWidthNM float64) (*Devi
 	return device.NewCalibratedModel(p, renewal.WithStep(stepNM), renewal.WithMaxWidth(maxWidthNM))
 }
 
+// SweepCache shares swept renewal count tables between device models whose
+// pitch law and grid coincide. Process corners differ only in pf, which
+// enters after the count distribution, so models for all corners of one
+// technology share a single table. The runner returned by NewRunner carries
+// its own cache; construct one explicitly to pool custom corner studies.
+type SweepCache = renewal.SweepCache
+
+// NewSweepCache returns an empty sweep cache.
+func NewSweepCache() *SweepCache { return renewal.NewSweepCache() }
+
+// NewSharedDeviceModel is NewDeviceModel drawing the count model from the
+// given sweep cache (nil behaves like NewDeviceModel).
+func NewSharedDeviceModel(cache *SweepCache, p FailureParams) (*DeviceModel, error) {
+	return device.NewCalibratedModelWith(cache, p)
+}
+
+// NewSharedDeviceModelWithRange is NewDeviceModelWithRange drawing the
+// count model from the given sweep cache (nil behaves like
+// NewDeviceModelWithRange).
+func NewSharedDeviceModelWithRange(cache *SweepCache, p FailureParams, stepNM, maxWidthNM float64) (*DeviceModel, error) {
+	return device.NewCalibratedModelWith(cache, p, renewal.WithStep(stepNM), renewal.WithMaxWidth(maxWidthNM))
+}
+
 // CalibratedPitch returns the frozen inter-CNT pitch law (see DESIGN.md §5).
 func CalibratedPitch() (dist.TruncNormal, error) { return device.CalibratedPitch() }
 
