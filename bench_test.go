@@ -299,6 +299,29 @@ func BenchmarkDeviceFailureProb(b *testing.B) {
 	}
 }
 
+// BenchmarkRunnerParallel measures the concurrent experiment runner on the
+// deterministic (non-Monte-Carlo) artifact subset with a warm sweep cache —
+// the fixed coordination-plus-compute cost `cnfetyield all` and server jobs
+// pay per batch. Part of the CI bench gate.
+func BenchmarkRunnerParallel(b *testing.B) {
+	r := runner(b)
+	names := []string{"fig2.1", "fig2.2a", "fig2.2b", "fig3.2"}
+	// Warm shared caches (sweeps, libraries, Wmin solves) outside the timer.
+	if _, err := r.RunMany(names, 4); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.RunMany(names, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(names) {
+			b.Fatal("missing results")
+		}
+	}
+}
+
 // BenchmarkRowScenarioRound measures one Monte Carlo round of the
 // unaligned row scenario (the dominant Table 1 cost).
 func BenchmarkRowScenarioRound(b *testing.B) {

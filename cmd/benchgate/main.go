@@ -33,7 +33,7 @@ import (
 // defaultFilter selects the renewal/sweep benchmarks the PR acceptance
 // gates on; Monte Carlo-heavy benchmarks are deliberately excluded (their
 // run-to-run variance would need a far looser threshold to be meaningful).
-const defaultFilter = `^Benchmark(Sweep|Convolve|RenewalSweepCold|Fig21$|DeviceFailureProb|RealForward)`
+const defaultFilter = `^Benchmark(Sweep|Convolve|RenewalSweepCold|Fig21$|DeviceFailureProb|RealForward|ServerPF|RunnerParallel)`
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {

@@ -30,6 +30,7 @@ func main() {
 func run() error {
 	var (
 		outDir    = flag.String("out", "", "directory for CSV/SVG artifacts (created if missing)")
+		jsonOut   = flag.Bool("json", false, "emit results as JSON (the yieldserver schema) instead of text")
 		seed      = flag.Uint64("seed", 0, "Monte Carlo root seed (0 = frozen default)")
 		rounds    = flag.Int("rounds", 0, "Table 1 Monte Carlo rounds (0 = default 200000)")
 		instances = flag.Int("instances", 0, "synthetic netlist instances (0 = default 20000)")
@@ -37,8 +38,9 @@ func run() error {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: cnfetyield [flags] <experiment|all>\nexperiments: %s\nextensions: ext-noise ext-pitch\nflags:\n",
-			strings.Join(yieldlab.ExperimentNames(), " "))
+			"usage: cnfetyield [flags] <experiment|all>\nexperiments: %s\nextensions: %s\nflags:\n",
+			strings.Join(yieldlab.ExperimentNames(), " "),
+			strings.Join(yieldlab.ExperimentExtensionNames(), " "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,6 +49,21 @@ func run() error {
 		return fmt.Errorf("expected one experiment name, got %d args", flag.NArg())
 	}
 	target := flag.Arg(0)
+
+	names := []string{target}
+	if target == "all" {
+		names = yieldlab.ExperimentNames()
+	} else if !yieldlab.KnownExperiment(target) {
+		// Fail fast with a hint instead of paying for runner setup: a typoed
+		// name in a script must exit non-zero and say what was likely meant.
+		msg := fmt.Sprintf("unknown experiment %q", target)
+		if hint, ok := yieldlab.SuggestExperiment(target); ok {
+			msg += fmt.Sprintf(" (did you mean %q?)", hint)
+		}
+		return fmt.Errorf("%s\nexperiments: %s\nextensions: %s", msg,
+			strings.Join(yieldlab.ExperimentNames(), " "),
+			strings.Join(yieldlab.ExperimentExtensionNames(), " "))
+	}
 
 	params := yieldlab.DefaultParams()
 	if *seed != 0 {
@@ -61,16 +78,19 @@ func run() error {
 	params.Workers = *workers
 	runner := yieldlab.NewRunner(params)
 
-	names := []string{target}
-	if target == "all" {
-		names = yieldlab.ExperimentNames()
+	results, err := runner.RunMany(names, params.Workers)
+	if err != nil {
+		return err
 	}
-	for _, name := range names {
-		res, err := runner.Run(name)
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+	if *jsonOut {
+		if err := yieldlab.WriteResultsJSON(os.Stdout, results); err != nil {
+			return err
 		}
-		fmt.Printf("=== %s ===\n%s\n", name, res.Text())
+	}
+	for _, res := range results {
+		if !*jsonOut {
+			fmt.Printf("=== %s ===\n%s\n", res.Name, res.Text())
+		}
 		if *outDir != "" {
 			if err := writeArtifacts(*outDir, res); err != nil {
 				return err

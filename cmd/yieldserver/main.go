@@ -1,0 +1,123 @@
+// Command yieldserver serves the CNFET yield models over HTTP/JSON.
+//
+// Usage:
+//
+//	yieldserver [flags]
+//
+// Endpoints: /healthz, /v1/corners, /v1/pf, /v1/pf/batch, /v1/wmin,
+// /v1/rowyield, /v1/experiments (jobs), /v1/jobs/{id}, /v1/stats.
+//
+// With -store DIR the server persists swept renewal tables: a restart (or a
+// second process on the same directory) answers its first pF query from the
+// stored tables without recomputing any sweep.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/cnfet/yieldlab"
+	"github.com/cnfet/yieldlab/internal/renewal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "yieldserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		storeDir  = flag.String("store", "", "sweep-store directory (empty = no persistence)")
+		cacheCap  = flag.Int("cache-entries", 0, "sweep cache entry bound (0 = default)")
+		maxJobs   = flag.Int("max-jobs", 0, "retained job records (0 = default)")
+		jobs      = flag.Int("concurrent-jobs", 0, "jobs computing at once (0 = default)")
+		seed      = flag.Uint64("seed", 0, "Monte Carlo root seed (0 = frozen default)")
+		rounds    = flag.Int("rounds", 0, "Monte Carlo rounds for jobs (0 = default 200000)")
+		instances = flag.Int("instances", 0, "synthetic netlist instances (0 = default 20000)")
+		workers   = flag.Int("workers", 0, "worker goroutines for jobs and Monte Carlo (0 = NumCPU)")
+		calibrate = flag.Bool("calibrate", true, "measure the FFT/direct convolution crossover at startup")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+
+	params := yieldlab.DefaultParams()
+	if *seed != 0 {
+		params.Seed = *seed
+	}
+	if *rounds != 0 {
+		params.MCRounds = *rounds
+	}
+	if *instances != 0 {
+		params.NetlistInstances = *instances
+	}
+	params.Workers = *workers
+
+	cfg := yieldlab.ServerConfig{
+		Params:         params,
+		CacheEntries:   *cacheCap,
+		MaxJobs:        *maxJobs,
+		ConcurrentJobs: *jobs,
+	}
+	if *storeDir != "" {
+		store, err := yieldlab.OpenSweepStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
+		log.Printf("sweep store at %s", store.Dir())
+	}
+	if *calibrate {
+		log.Printf("convolution crossover ratio: %.2f", renewal.Calibrate())
+	}
+
+	srv, err := yieldlab.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on http://%s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case sig := <-stop:
+		log.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	// Drain jobs and persist the sweep cache before exiting.
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("persisting sweep cache: %w", err)
+	}
+	return nil
+}

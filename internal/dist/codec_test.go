@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// ParseFingerprint must invert Fingerprint bit-exactly for every law kind.
+func TestParseFingerprintRoundTrip(t *testing.T) {
+	tn, err := TruncNormalWithMean(4, 9.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laws := []Continuous{
+		Exponential{Rate: 0.25},
+		Deterministic{V: 4},
+		tn,
+	}
+	for _, law := range laws {
+		fp, ok := Fingerprint(law)
+		if !ok {
+			t.Fatalf("%T has no fingerprint", law)
+		}
+		back, err := ParseFingerprint(fp)
+		if err != nil {
+			t.Fatalf("%q: %v", fp, err)
+		}
+		fp2, ok := Fingerprint(back)
+		if !ok || fp2 != fp {
+			t.Fatalf("round trip changed fingerprint: %q -> %q", fp, fp2)
+		}
+		// Moments agree exactly: the same constructors ran on the same bits.
+		if math.Float64bits(back.Mean()) != math.Float64bits(law.Mean()) ||
+			math.Float64bits(back.StdDev()) != math.Float64bits(law.StdDev()) {
+			t.Fatalf("%q: moments differ after round trip", fp)
+		}
+	}
+}
+
+func TestParseFingerprintRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"exp",
+		"exp:",
+		"exp:zzzz",
+		"exp:0000000000000000",   // rate 0
+		"exp:7ff0000000000000",   // rate +Inf
+		"det:fff0000000000000",   // -Inf
+		"tnorm:0:1:2",            // wrong arity
+		"gauss:4010000000000000", // unknown kind
+		"exp:40100000000000000",  // 17 hex digits
+		"tnorm:4010000000000000:0000000000000000:0000000000000000:7ff0000000000000", // sigma 0
+	}
+	for _, s := range bad {
+		if _, err := ParseFingerprint(s); err == nil {
+			t.Errorf("ParseFingerprint(%q) accepted", s)
+		}
+	}
+}
+
+// The PMF codec round-trips bit-exactly and rejects truncation and invalid
+// masses.
+func TestPMFCodec(t *testing.T) {
+	src, err := PoissonPMF(7.3, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := src.AppendBinary(nil)
+	got, rest, err := DecodePMF(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+	if got.Len() != src.Len() {
+		t.Fatalf("support %d vs %d", got.Len(), src.Len())
+	}
+	for k := 0; k < src.Len(); k++ {
+		if math.Float64bits(got.Prob(k)) != math.Float64bits(src.Prob(k)) {
+			t.Fatalf("mass at %d differs", k)
+		}
+	}
+	// Two PMFs concatenated decode in sequence.
+	buf2 := src.AppendBinary(src.AppendBinary(nil))
+	_, rest, err = DecodePMF(buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rest, err = DecodePMF(rest); err != nil || len(rest) != 0 {
+		t.Fatalf("second PMF: err %v, %d bytes left", err, len(rest))
+	}
+	// Truncations are rejected.
+	for _, n := range []int{0, 1, len(buf) - 1} {
+		if _, _, err := DecodePMF(buf[:n]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	// A corrupted mass (negative) is rejected by NewPMF validation.
+	bad := append([]byte(nil), buf...)
+	bad[len(bad)-1] |= 0x80 // flip the sign bit of the last mass
+	if _, _, err := DecodePMF(bad); err == nil {
+		t.Error("negative mass accepted")
+	}
+}

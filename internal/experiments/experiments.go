@@ -17,7 +17,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/cnfet/yieldlab/internal/celllib"
 	"github.com/cnfet/yieldlab/internal/device"
@@ -26,6 +28,7 @@ import (
 	"github.com/cnfet/yieldlab/internal/renewal"
 	"github.com/cnfet/yieldlab/internal/report"
 	"github.com/cnfet/yieldlab/internal/rng"
+	"github.com/cnfet/yieldlab/internal/rowyield"
 	"github.com/cnfet/yieldlab/internal/widthdist"
 	"github.com/cnfet/yieldlab/internal/yield"
 )
@@ -160,9 +163,19 @@ type Runner struct {
 
 // New creates a runner; the parameters are validated on first use.
 func New(p Params) *Runner {
+	return NewWithCache(p, renewal.NewSweepCache())
+}
+
+// NewWithCache creates a runner whose device models draw from a shared
+// sweep cache, so several runners — e.g. per-job runners inside a long-lived
+// server — pool their renewal sweeps. A nil cache behaves like New.
+func NewWithCache(p Params, sweeps *renewal.SweepCache) *Runner {
+	if sweeps == nil {
+		sweeps = renewal.NewSweepCache()
+	}
 	return &Runner{
 		params:     p,
-		sweeps:     renewal.NewSweepCache(),
+		sweeps:     sweeps,
 		solveCache: make(map[float64]float64),
 	}
 }
@@ -209,17 +222,150 @@ func (r *Runner) Run(name string) (*Result, error) {
 	}
 }
 
-// All runs every experiment in order.
+// All runs every experiment, in paper order, on the runner's worker pool
+// (Params.Workers; 0 = NumCPU).
 func (r *Runner) All() ([]*Result, error) {
-	var out []*Result
-	for _, name := range Names() {
-		res, err := r.Run(name)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+	return r.RunMany(Names(), r.params.Workers)
+}
+
+// RunMany executes the named experiments on a bounded pool of `workers`
+// goroutines (≤ 0 means NumCPU). Every experiment is deterministic given the
+// runner's parameters — Monte Carlo streams derive from Params.Seed per
+// experiment, and the shared lazily-built state (device model, libraries,
+// placement) is built once under the runner's lock — so the results are
+// identical to a serial run, in input order. On failure the error of the
+// earliest-ordered failing experiment is returned (matching what a serial
+// run would report) and no further experiments are started.
+func (r *Runner) RunMany(names []string, workers int) ([]*Result, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers == 1 {
+		out := make([]*Result, len(names))
+		for i, name := range names {
+			res, err := r.Run(name)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", name, err)
+			}
+			out[i] = res
 		}
-		out = append(out, res)
+		return out, nil
+	}
+
+	type outcome struct {
+		idx int
+		res *Result
+		err error
+	}
+	jobs := make(chan int)
+	outcomes := make(chan outcome, len(names))
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				res, err := r.Run(names[idx])
+				if err != nil {
+					failed.Store(true)
+				}
+				outcomes <- outcome{idx: idx, res: res, err: err}
+			}
+		}()
+	}
+	// Dispatch in input order and stop handing out work after the first
+	// failure; experiments already in flight drain normally. Because
+	// dispatch is ordered, every experiment preceding a failure has been
+	// dispatched, so the earliest failing index is always observed.
+	for idx := range names {
+		if failed.Load() {
+			break
+		}
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	close(outcomes)
+
+	out := make([]*Result, len(names))
+	firstErrIdx := -1
+	var firstErr error
+	for oc := range outcomes {
+		if oc.err != nil {
+			if firstErrIdx == -1 || oc.idx < firstErrIdx {
+				firstErrIdx = oc.idx
+				firstErr = oc.err
+			}
+			continue
+		}
+		out[oc.idx] = oc.res
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", names[firstErrIdx], firstErr)
 	}
 	return out, nil
+}
+
+// Known reports whether name is a paper or extension experiment — the one
+// validation both the CLI and the server's job API build their
+// unknown-experiment errors on.
+func Known(name string) bool {
+	for _, n := range append(Names(), ExtensionNames()...) {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Suggest returns the known experiment name closest to `name` by edit
+// distance, when one is close enough to be a plausible typo — the "did you
+// mean" hint behind the CLI's unknown-experiment error.
+func Suggest(name string) (string, bool) {
+	known := append(Names(), ExtensionNames()...)
+	best, bestDist := "", int(^uint(0)>>1)
+	for _, k := range known {
+		if d := editDistance(name, k); d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	// A hint further than ~half the typed name away is noise, not help.
+	limit := (len(name) + 1) / 2
+	if limit < 2 {
+		limit = 2
+	}
+	if best == "" || bestDist > limit {
+		return "", false
+	}
+	return best, true
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // failureModel lazily builds the shared worst-corner device model.
@@ -330,6 +476,51 @@ func (r *Runner) placedDesign(wmin float64) (*place.Placement, float64, error) {
 	}
 	r.density45 = d
 	return r.placement, d, nil
+}
+
+// RowModelAt builds a Table 1-style correlated row model at device width
+// w (nm) for an arbitrary processing corner: calibrated pitch, the runner's
+// LCNT/density parameters, and the lateral offset distribution measured on
+// the shared synthetic 45 nm library (built lazily on first use). The
+// returned model is prepared and ready for Monte Carlo estimation; the
+// long-lived server's /v1/rowyield endpoint is the main caller.
+func (r *Runner) RowModelAt(width float64, corner device.FailureParams) (*rowyield.RowModel, error) {
+	if err := r.params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := corner.Validate(); err != nil {
+		return nil, err
+	}
+	lib45, _, err := r.libraries()
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := r.placedDesign(width); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	nl := r.netlist45
+	r.mu.Unlock()
+	offsets, err := celllib.CriticalNFETOffsets(lib45, nl.Usage(), width)
+	if err != nil {
+		return nil, err
+	}
+	pitch, err := device.CalibratedPitch()
+	if err != nil {
+		return nil, err
+	}
+	rm := &rowyield.RowModel{
+		Pitch:         pitch,
+		PerCNTFailure: corner.PerCNTFailure(),
+		WidthNM:       width,
+		LCNTNM:        r.params.LCNTUM * 1000,
+		DensityPerUM:  r.params.PminPerUM,
+		Offsets:       offsets,
+	}
+	if err := rm.Prepare(); err != nil {
+		return nil, err
+	}
+	return rm, nil
 }
 
 // mrminPaper returns the paper-parameter MRmin = LCNT × Pmin (≈ 360).

@@ -191,9 +191,9 @@ func TestRunnerSweepCacheSharesAcrossModels(t *testing.T) {
 	if _, err := r.ExtPitchAblation(); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses := r.SweepCache().Stats()
-	if hits != 1 || misses != 3 {
-		t.Fatalf("sweep cache stats = (%d hits, %d misses), want (1, 3)", hits, misses)
+	st := r.SweepCache().Stats()
+	if st.Hits != 1 || st.Misses != 3 {
+		t.Fatalf("sweep cache stats = (%d hits, %d misses), want (1, 3)", st.Hits, st.Misses)
 	}
 }
 

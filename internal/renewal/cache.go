@@ -24,17 +24,62 @@ import (
 //
 // A SweepCache is safe for concurrent use. Models grow their internal width
 // cache monotonically and are themselves concurrency-safe, so handing one
-// model to many goroutines is the intended use.
+// model to many goroutines is the intended use. Long-lived servers should
+// bound the cache with SetMaxEntries: eviction drops the least-recently-used
+// model from the cache (callers holding it keep a valid model; only the
+// sharing is forgotten).
 type SweepCache struct {
-	mu     sync.Mutex
-	models map[string]*Model
-	hits   uint64
-	misses uint64
+	mu         sync.Mutex
+	entries    map[string]*cacheEntry
+	maxEntries int
+	clock      uint64
+	hits       uint64
+	misses     uint64
+	evictions  uint64
 }
 
-// NewSweepCache returns an empty cache.
+type cacheEntry struct {
+	model *Model
+	fp    string // the law's dist.Fingerprint (without grid options)
+	use   uint64 // logical last-use time for LRU eviction
+}
+
+// NewSweepCache returns an empty, unbounded cache.
 func NewSweepCache() *SweepCache {
-	return &SweepCache{models: make(map[string]*Model)}
+	return &SweepCache{entries: make(map[string]*cacheEntry)}
+}
+
+// SetMaxEntries bounds the cache to at most n models, evicting the least
+// recently used beyond that. n ≤ 0 removes the bound. Shrinking below the
+// current size evicts immediately.
+func (c *SweepCache) SetMaxEntries(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxEntries = n
+	c.evictOverLimit()
+}
+
+// evictOverLimit drops least-recently-used entries until the bound holds.
+// Caller holds c.mu.
+func (c *SweepCache) evictOverLimit() {
+	if c.maxEntries <= 0 {
+		return
+	}
+	for len(c.entries) > c.maxEntries {
+		var oldestKey string
+		oldestUse := uint64(math.MaxUint64)
+		for key, e := range c.entries {
+			if e.use < oldestUse {
+				oldestUse = e.use
+				oldestKey = key
+			}
+		}
+		delete(c.entries, oldestKey)
+		c.evictions++
+	}
 }
 
 // Model returns the shared count model for the law and options, building it
@@ -53,41 +98,101 @@ func (c *SweepCache) Model(spacing dist.Continuous, opts ...Option) (*Model, err
 		m.finish()
 		return m, nil
 	}
-	key := fmt.Sprintf("%s|step=%016x|max=%016x|eps=%016x|ord=%t|conv=%d",
-		fp, math.Float64bits(m.step), math.Float64bits(m.maxWidth),
-		math.Float64bits(m.tailEps), m.ordinary, m.convMode)
+	key := cacheKey(fp, m)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if shared, hit := c.models[key]; hit {
+	c.clock++
+	if e, hit := c.entries[key]; hit {
 		c.hits++
-		return shared, nil
+		e.use = c.clock
+		return e.model, nil
 	}
 	c.misses++
 	// Discretization runs under the lock: it is far cheaper than the sweeps
 	// the cache exists to share, and holding the lock keeps concurrent
 	// first-callers from building duplicate models.
 	m.finish()
-	c.models[key] = m
+	c.entries[key] = &cacheEntry{model: m, fp: fp, use: c.clock}
+	c.evictOverLimit()
 	return m, nil
 }
 
-// Len returns the number of distinct models built so far.
+// identityKey formats the full identity of a law+grid combination: the law
+// fingerprint plus every numerically relevant option, floats compared by
+// exact bits. Both the cache key and Snapshot.Key (hence the sweep store's
+// file naming) derive from this one format, so they cannot drift apart.
+func identityKey(fp string, step, maxWidth, tailEps float64, ordinary bool, conv ConvMode) string {
+	return fmt.Sprintf("%s|step=%016x|max=%016x|eps=%016x|ord=%t|conv=%d",
+		fp, math.Float64bits(step), math.Float64bits(maxWidth),
+		math.Float64bits(tailEps), ordinary, conv)
+}
+
+// cacheKey derives the cache identity of a configured (not necessarily
+// discretized) model.
+func cacheKey(fp string, m *Model) string {
+	return identityKey(fp, m.step, m.maxWidth, m.tailEps, m.ordinary, m.convMode)
+}
+
+// Len returns the number of distinct models currently cached.
 func (c *SweepCache) Len() int {
 	if c == nil {
 		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.models)
+	return len(c.entries)
 }
 
-// Stats returns how many Model calls were served from the cache (hits) and
-// how many built a model (misses). Unfingerprinted laws count as neither.
-func (c *SweepCache) Stats() (hits, misses uint64) {
+// CacheStats describes a SweepCache's traffic and contents.
+type CacheStats struct {
+	// Hits and Misses count Model calls served from the cache vs built
+	// fresh. Unfingerprinted laws count as neither.
+	Hits, Misses uint64
+	// Evictions counts models dropped by the entry bound.
+	Evictions uint64
+	// Entries is the current model count (== Len()).
+	Entries int
+	// Sweeps sums the arrival sweeps actually computed across cached
+	// models — zero after a warm start that answered only from restored
+	// tables, which is how tests and /v1/stats verify the persistent store
+	// did its job.
+	Sweeps uint64
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *SweepCache) Stats() CacheStats {
 	if c == nil {
-		return 0, 0
+		return CacheStats{}
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	models := make([]*Model, 0, len(c.entries))
+	for _, e := range c.entries {
+		models = append(models, e.model)
+	}
+	s := CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+	c.mu.Unlock()
+	// Model counters take the per-model lock; read them outside the cache
+	// lock so a long sweep cannot stall unrelated cache traffic.
+	for _, m := range models {
+		s.Sweeps += m.Sweeps()
+	}
+	return s
+}
+
+// ForEach calls fn for every cached model with its law fingerprint, in
+// unspecified order. The callback runs outside the cache lock, so it may
+// sweep, snapshot, or call back into the cache.
+func (c *SweepCache) ForEach(fn func(fingerprint string, m *Model)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	snapshot := make([]*cacheEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		snapshot = append(snapshot, e)
+	}
+	c.mu.Unlock()
+	for _, e := range snapshot {
+		fn(e.fp, e.model)
+	}
 }

@@ -24,8 +24,8 @@ func TestSweepCacheSharesByLawAndGrid(t *testing.T) {
 	if a != b {
 		t.Error("same law+grid should share one model")
 	}
-	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
-		t.Errorf("stats = (%d, %d), want (1, 1)", hits, misses)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = (%d, %d), want (1, 1)", st.Hits, st.Misses)
 	}
 	// Any differing knob must miss.
 	diff := []struct {
@@ -72,7 +72,7 @@ func TestSweepCacheNilAndUnfingerprinted(t *testing.T) {
 	if nilCache.Len() != 0 {
 		t.Error("nil cache Len should be 0")
 	}
-	if h, ms := nilCache.Stats(); h != 0 || ms != 0 {
+	if st := nilCache.Stats(); st.Hits != 0 || st.Misses != 0 {
 		t.Error("nil cache stats should be zero")
 	}
 
@@ -151,8 +151,8 @@ func TestSweepCacheMatchesUncachedForPaperCorners(t *testing.T) {
 			}
 		}
 	}
-	if hits, misses := c.Stats(); misses != 1 || hits != uint64(len(corners)-1) {
-		t.Errorf("stats = (%d, %d): the three corners should share one sweep", hits, misses)
+	if st := c.Stats(); st.Misses != 1 || st.Hits != uint64(len(corners)-1) {
+		t.Errorf("stats = (%d, %d): the three corners should share one sweep", st.Hits, st.Misses)
 	}
 }
 

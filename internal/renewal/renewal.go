@@ -53,9 +53,12 @@ type Model struct {
 	fMass []float64 // pitch mass at grid points j·h
 	gMass []float64 // first-arrival mass at grid points j·h
 
-	mu      sync.Mutex
-	cache   map[int]dist.PMF
-	sweptTo int // every grid index ≤ sweptTo is cached
+	mu        sync.Mutex
+	sweepDone *sync.Cond // signalled when an in-flight sweep finishes
+	sweeping  bool       // an arrival sweep is running outside the lock
+	sweeps    uint64     // arrival sweeps actually computed (not deduplicated)
+	cache     map[int]dist.PMF
+	sweptTo   int // every grid index ≤ sweptTo is cached
 }
 
 // Option configures a Model.
@@ -97,6 +100,7 @@ func newConfigured(spacing dist.Continuous, opts ...Option) (*Model, error) {
 		tailEps:  DefaultTailEps,
 		cache:    make(map[int]dist.PMF),
 	}
+	m.sweepDone = sync.NewCond(&m.mu)
 	for _, o := range opts {
 		o(m)
 	}
@@ -293,17 +297,51 @@ func (m *Model) CountPMFs(ws []float64) ([]dist.PMF, error) {
 // order k — dispatched per step between the direct, blocked and FFT kernels
 // (see conv.go) — and the per-k prefix sum that serves all indexes at once
 // is what makes whole-curve generation cheap.
+//
+// Concurrent sweeps of one model are deduplicated singleflight-style: while
+// one goroutine computes, identical (or narrower) requests wait on its
+// result instead of redoing the convolution, and a wider request takes over
+// once the running sweep finishes. Sweeps() counts the sweeps actually
+// computed, which is what lets tests and the server's /v1/stats prove that a
+// warmed cache answered without recomputation.
 func (m *Model) sweep(maxIdx int) error {
-	m.mu.Lock()
-	if m.sweptTo >= maxIdx {
-		m.mu.Unlock()
-		return nil
-	}
-	m.mu.Unlock()
-
 	if maxIdx == 0 {
 		return nil
 	}
+	m.mu.Lock()
+	for {
+		if m.sweptTo >= maxIdx {
+			m.mu.Unlock()
+			return nil
+		}
+		if !m.sweeping {
+			break
+		}
+		m.sweepDone.Wait()
+	}
+	m.sweeping = true
+	m.sweeps++
+	m.mu.Unlock()
+
+	err := m.runSweep(maxIdx)
+
+	m.mu.Lock()
+	m.sweeping = false
+	m.sweepDone.Broadcast()
+	m.mu.Unlock()
+	return err
+}
+
+// Sweeps returns how many arrival sweeps this model has actually computed.
+// Deduplicated concurrent requests and cache-served queries do not count.
+func (m *Model) Sweeps() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweeps
+}
+
+// runSweep performs the convolution work for one claimed sweep.
+func (m *Model) runSweep(maxIdx int) error {
 	n := maxIdx
 	// rows[k-1][j] = P(T_k < (j+1)·h) = P(N((j+1)·h) ≥ k): one prefix-sum
 	// row per arrival order. Row-major writes keep the hot loop streaming;

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup deduplicates concurrent identical computations
+// singleflight-style: the first caller for a key runs the function, later
+// callers arriving before it finishes wait and share the result. Results
+// are not cached — once the flight lands, the next caller recomputes (the
+// durable caching lives in renewal.SweepCache and the sweep store; this
+// layer only absorbs request stampedes).
+type flightGroup struct {
+	mu     sync.Mutex
+	calls  map[string]*flightCall
+	shared atomic.Uint64 // calls served by someone else's flight
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// do runs fn under the key, or waits for an identical in-flight call.
+func (g *flightGroup) do(key string, fn func() (any, error)) (any, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.shared.Add(1)
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}
+
+// sharedCount returns how many calls were deduplicated onto another flight.
+func (g *flightGroup) sharedCount() uint64 { return g.shared.Load() }

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/cnfet/yieldlab/internal/experiments"
+)
+
+// Job states, in lifecycle order.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobJSON is the wire form of one experiment job.
+type JobJSON struct {
+	ID          string       `json:"id"`
+	Experiments []string     `json:"experiments"`
+	State       string       `json:"state"`
+	Error       string       `json:"error,omitempty"`
+	Results     []ResultJSON `json:"results,omitempty"`
+	CreatedAt   time.Time    `json:"created_at"`
+	StartedAt   *time.Time   `json:"started_at,omitempty"`
+	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
+}
+
+type jobRecord struct {
+	id       string
+	names    []string
+	runner   *experiments.Runner
+	workers  int
+	state    string
+	err      string
+	results  []ResultJSON
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// jobEngine runs experiment jobs on a bounded pool and retains a bounded
+// history. Each job executes its experiments through the concurrent Runner
+// (RunMany), so one job already parallelizes internally; the engine's own
+// bound limits how many jobs compute at once.
+type jobEngine struct {
+	mu      sync.Mutex
+	jobs    map[string]*jobRecord
+	order   []string // creation order, for eviction of finished jobs
+	maxJobs int
+	nextID  int
+
+	sem    chan struct{} // bounds concurrently running jobs
+	wg     sync.WaitGroup
+	onDone func() // called after each job finishes (cache persistence hook)
+}
+
+func newJobEngine(maxJobs, concurrent int, onDone func()) *jobEngine {
+	// Config defaults are applied in server.New; these floors only guard
+	// direct construction in tests.
+	if maxJobs <= 0 {
+		maxJobs = 1
+	}
+	if concurrent <= 0 {
+		concurrent = 1
+	}
+	return &jobEngine{
+		jobs:    make(map[string]*jobRecord),
+		maxJobs: maxJobs,
+		sem:     make(chan struct{}, concurrent),
+		onDone:  onDone,
+	}
+}
+
+// errJobsFull rejects submissions while the open-job bound is reached.
+var errJobsFull = fmt.Errorf("job queue full, retry later")
+
+// submit queues a job over pre-validated experiment names and starts it as
+// soon as a pool slot frees up. Open (queued or running) jobs are bounded
+// by the same maxJobs knob as the retained history, so a submit flood is
+// refused instead of growing records and goroutines without limit.
+func (e *jobEngine) submit(runner *experiments.Runner, names []string, workers int) (JobJSON, error) {
+	e.mu.Lock()
+	open := 0
+	for _, j := range e.jobs {
+		if j.state == JobQueued || j.state == JobRunning {
+			open++
+		}
+	}
+	if open >= e.maxJobs {
+		e.mu.Unlock()
+		return JobJSON{}, errJobsFull
+	}
+	e.nextID++
+	j := &jobRecord{
+		id:      fmt.Sprintf("job-%d", e.nextID),
+		names:   append([]string(nil), names...),
+		runner:  runner,
+		workers: workers,
+		state:   JobQueued,
+		created: time.Now(),
+	}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	e.evictLocked()
+	snap := j.snapshotLocked()
+	e.mu.Unlock()
+
+	e.wg.Add(1)
+	go e.run(j)
+	return snap, nil
+}
+
+func (e *jobEngine) run(j *jobRecord) {
+	defer e.wg.Done()
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+
+	e.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	e.mu.Unlock()
+
+	results, err := j.runner.RunMany(j.names, j.workers)
+
+	e.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = JobFailed
+		j.err = err.Error()
+	} else {
+		j.state = JobDone
+		j.results = EncodeResults(results)
+	}
+	e.mu.Unlock()
+	if e.onDone != nil {
+		e.onDone()
+	}
+}
+
+// get returns a snapshot of the job.
+func (e *jobEngine) get(id string) (JobJSON, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobJSON{}, false
+	}
+	return j.snapshotLocked(), true
+}
+
+// counts returns how many jobs sit in each state.
+func (e *jobEngine) counts() map[string]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := map[string]int{JobQueued: 0, JobRunning: 0, JobDone: 0, JobFailed: 0}
+	for _, j := range e.jobs {
+		out[j.state]++
+	}
+	return out
+}
+
+// drain blocks until every submitted job has finished.
+func (e *jobEngine) drain() { e.wg.Wait() }
+
+// evictLocked drops the oldest finished jobs beyond the retention bound.
+// Queued and running jobs are never evicted: their records are the only
+// handle a client has on in-flight work.
+func (e *jobEngine) evictLocked() {
+	excess := len(e.jobs) - e.maxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := e.order[:0]
+	for _, id := range e.order {
+		j := e.jobs[id]
+		if excess > 0 && (j.state == JobDone || j.state == JobFailed) {
+			delete(e.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	e.order = kept
+}
+
+func (j *jobRecord) snapshotLocked() JobJSON {
+	out := JobJSON{
+		ID:          j.id,
+		Experiments: append([]string(nil), j.names...),
+		State:       j.state,
+		Error:       j.err,
+		Results:     j.results,
+		CreatedAt:   j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		out.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		out.FinishedAt = &t
+	}
+	return out
+}

@@ -1,0 +1,758 @@
+// Package server wraps the experiment Runner and the renewal sweep engine
+// in a long-lived HTTP/JSON service — the paper's "what is pF(W) / Wmin /
+// row yield under this growth scenario?" queries as cheap, repeatable
+// endpoints instead of one-shot CLI runs.
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz                 liveness
+//	GET  /v1/corners              the Fig. 2.1 processing corners
+//	GET  /v1/pf                   device failure probability pF(W)
+//	POST /v1/pf/batch             many (width, corner) points in one call
+//	GET  /v1/wmin                 chip-level minimum width (Eq. 2.5)
+//	GET  /v1/rowyield             row failure probability per scenario
+//	POST /v1/experiments          submit an experiment job → job id
+//	GET  /v1/jobs/{id}            job status and results
+//	GET  /v1/stats                cache hit rates, sweeps, jobs in flight
+//
+// Request cost is dominated by cold renewal sweeps; three layers keep them
+// rare: renewal.SweepCache shares swept tables across corners and requests,
+// identical concurrent computations are deduplicated singleflight-style on
+// top of it, and an optional sweepstore directory persists the tables so a
+// restarted server (or a parallel process) warms instantly.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/cnfet/yieldlab/internal/device"
+	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/renewal"
+	"github.com/cnfet/yieldlab/internal/rowyield"
+	"github.com/cnfet/yieldlab/internal/sweepstore"
+	"github.com/cnfet/yieldlab/internal/widthdist"
+	"github.com/cnfet/yieldlab/internal/yield"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheEntries   = 64
+	DefaultMaxJobs        = 64
+	DefaultConcurrentJobs = 2
+	DefaultBatchLimit     = 4096
+	DefaultRowRounds      = 2_000
+	DefaultMaxRowRounds   = 50_000
+)
+
+// Config configures a Server.
+type Config struct {
+	// Params is the experiment configuration jobs run under and the source
+	// of the device grid (step, max width). Zero value = DefaultParams.
+	Params experiments.Params
+	// Store, when non-nil, persists swept renewal tables: warmed from at
+	// startup, written back after new sweeps and on Close.
+	Store *sweepstore.Store
+	// CacheEntries bounds the sweep cache (0 = DefaultCacheEntries).
+	CacheEntries int
+	// MaxJobs bounds the retained job history (0 = DefaultMaxJobs).
+	MaxJobs int
+	// ConcurrentJobs bounds jobs computing at once (0 = DefaultConcurrentJobs).
+	ConcurrentJobs int
+	// BatchLimit caps points per /v1/pf/batch request (0 = DefaultBatchLimit).
+	BatchLimit int
+	// MaxRowRounds caps Monte Carlo rounds a /v1/rowyield request may ask
+	// for (0 = DefaultMaxRowRounds).
+	MaxRowRounds int
+}
+
+// Server is the HTTP yield service. Create with New, serve Handler, and
+// Close on shutdown to drain jobs and persist the sweep store.
+type Server struct {
+	cfg    Config
+	params experiments.Params
+	runner *experiments.Runner
+	cache  *renewal.SweepCache
+	flight flightGroup
+	jobs   *jobEngine
+	mux    *http.ServeMux
+	start  time.Time
+
+	persistMu       sync.Mutex
+	persistedSweeps uint64
+	persistErr      string // last persistence failure, surfaced in /v1/stats
+}
+
+// New builds a server, warming the sweep cache from cfg.Store when present.
+func New(cfg Config) (*Server, error) {
+	if (cfg.Params == experiments.Params{}) {
+		cfg.Params = experiments.DefaultParams()
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = DefaultCacheEntries
+	}
+	if cfg.MaxJobs == 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	if cfg.ConcurrentJobs == 0 {
+		cfg.ConcurrentJobs = DefaultConcurrentJobs
+	}
+	if cfg.BatchLimit == 0 {
+		cfg.BatchLimit = DefaultBatchLimit
+	}
+	if cfg.MaxRowRounds == 0 {
+		cfg.MaxRowRounds = DefaultMaxRowRounds
+	}
+	s := &Server{
+		cfg:    cfg,
+		params: cfg.Params,
+		runner: experiments.New(cfg.Params),
+		start:  time.Now(),
+	}
+	s.cache = s.runner.SweepCache()
+	s.cache.SetMaxEntries(cfg.CacheEntries)
+	if cfg.Store != nil {
+		if _, err := sweepstore.WarmCache(cfg.Store, s.cache); err != nil {
+			return nil, fmt.Errorf("server: warming sweep cache: %w", err)
+		}
+		s.persistedSweeps = 0 // restored tables involved no sweeps
+	}
+	s.jobs = newJobEngine(cfg.MaxJobs, cfg.ConcurrentJobs, s.maybePersist)
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains running jobs and persists the sweep cache.
+func (s *Server) Close() error {
+	s.jobs.drain()
+	if s.cfg.Store == nil {
+		return nil
+	}
+	_, err := sweepstore.PersistCache(s.cfg.Store, s.cache)
+	return err
+}
+
+// maybePersist writes the sweep cache back to the store when new sweeps
+// have been computed since the last persist. Runs synchronously but off the
+// common path: callers invoke it after a response is already determined.
+func (s *Server) maybePersist() {
+	if s.cfg.Store == nil {
+		return
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	sweeps := s.cache.Stats().Sweeps
+	if sweeps == s.persistedSweeps {
+		return
+	}
+	// A failure (disk full, permissions) must not fail the request that
+	// triggered it, but it must not vanish either: the last error is
+	// reported by /v1/stats until a later persist succeeds.
+	if _, err := sweepstore.PersistCache(s.cfg.Store, s.cache); err != nil {
+		s.persistErr = err.Error()
+		return
+	}
+	s.persistErr = ""
+	s.persistedSweeps = sweeps
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/corners", s.handleCorners)
+	s.mux.HandleFunc("GET /v1/pf", s.handlePF)
+	s.mux.HandleFunc("POST /v1/pf/batch", s.handlePFBatch)
+	s.mux.HandleFunc("GET /v1/wmin", s.handleWmin)
+	s.mux.HandleFunc("GET /v1/rowyield", s.handleRowYield)
+	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+}
+
+// --- corners ---------------------------------------------------------------
+
+// CornerJSON is the wire form of a processing corner.
+type CornerJSON struct {
+	Name  string  `json:"name"`
+	Label string  `json:"label"`
+	PM    float64 `json:"pm"`
+	PRS   float64 `json:"prs"`
+	// PF is the per-CNT failure probability pf = pm + (1-pm)·pRs (Eq. 2.1).
+	PF float64 `json:"pf"`
+}
+
+// cornerNames maps the API names onto the Fig. 2.1 corners, worst first.
+var cornerNames = []string{"worst", "mid", "best"}
+
+func corners() []CornerJSON {
+	paper := device.PaperCorners()
+	out := make([]CornerJSON, len(paper))
+	for i, c := range paper {
+		out[i] = CornerJSON{
+			Name:  cornerNames[i],
+			Label: c.Name,
+			PM:    c.Params.PMetallic,
+			PRS:   c.Params.PRemoveSemi,
+			PF:    c.Params.PerCNTFailure(),
+		}
+	}
+	return out
+}
+
+// cornerParams resolves a corner name (or explicit pm/prs overrides) to
+// failure parameters.
+func cornerParams(name, pmStr, prsStr string) (device.FailureParams, string, error) {
+	if pmStr != "" || prsStr != "" {
+		if name != "" {
+			return device.FailureParams{}, "", errors.New("give either corner or pm/prs, not both")
+		}
+		pm, err := parseFloat("pm", pmStr)
+		if err != nil {
+			return device.FailureParams{}, "", err
+		}
+		prs, err := parseFloat("prs", prsStr)
+		if err != nil {
+			return device.FailureParams{}, "", err
+		}
+		p := device.FailureParams{PMetallic: pm, PRemoveSemi: prs, PRemoveMetallic: 1}
+		if err := p.Validate(); err != nil {
+			return device.FailureParams{}, "", err
+		}
+		return p, fmt.Sprintf("pm=%g,prs=%g", pm, prs), nil
+	}
+	if name == "" {
+		name = "worst"
+	}
+	for i, c := range device.PaperCorners() {
+		if name == cornerNames[i] || name == c.Name {
+			return c.Params, cornerNames[i], nil
+		}
+	}
+	return device.FailureParams{}, "", fmt.Errorf("unknown corner %q (have %s, or give pm= and prs=)",
+		name, strings.Join(cornerNames, ", "))
+}
+
+// deviceModel builds (or fetches) the shared failure model for a corner on
+// the server's grid. Concurrent first calls collapse onto one build.
+func (s *Server) deviceModel(p device.FailureParams) (*device.FailureModel, error) {
+	key := fmt.Sprintf("model|%x|%x", math.Float64bits(p.PMetallic), math.Float64bits(p.PRemoveSemi))
+	v, err := s.flight.do(key, func() (any, error) {
+		return device.NewCalibratedModelWith(s.cache, p,
+			renewal.WithStep(s.params.GridStepNM), renewal.WithMaxWidth(s.params.MaxWidthNM))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*device.FailureModel), nil
+}
+
+// --- handlers --------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleCorners(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"corners": corners()})
+}
+
+// PFJSON is one device failure probability evaluation.
+type PFJSON struct {
+	Corner  string  `json:"corner"`
+	WidthNM float64 `json:"width_nm"`
+	// PFCNT is the per-CNT failure probability pf (Eq. 2.1).
+	PFCNT float64 `json:"pf_cnt"`
+	// PF is the device failure probability pF(W) (Eq. 2.2).
+	PF float64 `json:"pf"`
+}
+
+func (s *Server) handlePF(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	params, cornerName, err := cornerParams(q.Get("corner"), q.Get("pm"), q.Get("prs"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	width, err := s.parseWidth(q.Get("width"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.deviceModel(params)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	pf, err := m.FailureProb(width)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer s.maybePersist()
+	writeJSON(w, http.StatusOK, PFJSON{Corner: cornerName, WidthNM: width, PFCNT: m.PerCNTFailure(), PF: pf})
+}
+
+// BatchPointJSON is one requested (corner, width) evaluation.
+type BatchPointJSON struct {
+	Corner  string   `json:"corner,omitempty"`
+	PM      *float64 `json:"pm,omitempty"`
+	PRS     *float64 `json:"prs,omitempty"`
+	WidthNM float64  `json:"width_nm"`
+}
+
+func (s *Server) handlePFBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Points []BatchPointJSON `json:"points"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Points) > s.cfg.BatchLimit {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d points exceeds limit %d", len(req.Points), s.cfg.BatchLimit))
+		return
+	}
+	// Group the points per corner so each distinct model serves all its
+	// widths in one batched sweep, then scatter results back in input order.
+	type group struct {
+		params device.FailureParams
+		name   string
+		idxs   []int
+		widths []float64
+	}
+	groups := make(map[string]*group)
+	out := make([]PFJSON, len(req.Points))
+	for i, pt := range req.Points {
+		pmStr, prsStr := "", ""
+		if pt.PM != nil {
+			pmStr = strconv.FormatFloat(*pt.PM, 'g', -1, 64)
+		}
+		if pt.PRS != nil {
+			prsStr = strconv.FormatFloat(*pt.PRS, 'g', -1, 64)
+		}
+		params, cornerName, err := cornerParams(pt.Corner, pmStr, prsStr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("point %d: %w", i, err))
+			return
+		}
+		width, err := s.parseWidth(strconv.FormatFloat(pt.WidthNM, 'g', -1, 64))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("point %d: %w", i, err))
+			return
+		}
+		g, ok := groups[cornerName]
+		if !ok {
+			g = &group{params: params, name: cornerName}
+			groups[cornerName] = g
+		}
+		g.idxs = append(g.idxs, i)
+		g.widths = append(g.widths, width)
+	}
+	for _, g := range groups {
+		m, err := s.deviceModel(g.params)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		pfs, err := m.FailureProbs(g.widths)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		for k, idx := range g.idxs {
+			out[idx] = PFJSON{Corner: g.name, WidthNM: g.widths[k], PFCNT: m.PerCNTFailure(), PF: pfs[k]}
+		}
+	}
+	defer s.maybePersist()
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+// WminJSON is one chip-level sizing solution.
+type WminJSON struct {
+	Corner       string  `json:"corner"`
+	M            float64 `json:"m"`
+	DesiredYield float64 `json:"desired_yield"`
+	RelaxFactor  float64 `json:"relax_factor"`
+	WminNM       float64 `json:"wmin_nm"`
+	DevicePF     float64 `json:"device_pf"`
+	MminShare    float64 `json:"mmin_share"`
+}
+
+func (s *Server) handleWmin(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	params, cornerName, err := cornerParams(q.Get("corner"), q.Get("pm"), q.Get("prs"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	relax := 1.0
+	if v := q.Get("relax"); v != "" {
+		if relax, err = parseFloat("relax", v); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	m := s.params.M
+	if v := q.Get("m"); v != "" {
+		if m, err = parseFloat("m", v); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	desired := s.params.DesiredYield
+	if v := q.Get("yield"); v != "" {
+		if desired, err = parseFloat("yield", v); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	key := fmt.Sprintf("wmin|%s|%x|%x|%x", cornerName,
+		math.Float64bits(relax), math.Float64bits(m), math.Float64bits(desired))
+	v, err := s.flight.do(key, func() (any, error) {
+		model, err := s.deviceModel(params)
+		if err != nil {
+			return nil, err
+		}
+		res, err := yield.SimplifiedWmin(&yield.Problem{
+			Model:        model,
+			Widths:       widthdist.OpenRISC45(),
+			M:            m,
+			DesiredYield: desired,
+			RelaxFactor:  relax,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return WminJSON{
+			Corner: cornerName, M: m, DesiredYield: desired, RelaxFactor: relax,
+			WminNM: res.Wmin, DevicePF: res.DevicePF, MminShare: res.MminShare,
+		}, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer s.maybePersist()
+	writeJSON(w, http.StatusOK, v)
+}
+
+// RowYieldJSON is one row-correlation scenario evaluation.
+type RowYieldJSON struct {
+	Corner   string  `json:"corner"`
+	Scenario string  `json:"scenario"`
+	WidthNM  float64 `json:"width_nm"`
+	// MRmin is Eq. 3.2: devices sharing one CNT span.
+	MRmin float64 `json:"mrmin"`
+	// DevicePF is the analytic pF(W) feeding the closed forms.
+	DevicePF float64 `json:"device_pf"`
+	// PRF is the row failure probability (analytic for the uncorrelated and
+	// aligned scenarios, Monte Carlo for unaligned).
+	PRF float64 `json:"prf"`
+	// StdErr and Rounds describe the Monte Carlo estimate (unaligned only).
+	StdErr float64 `json:"stderr,omitempty"`
+	Rounds int     `json:"rounds,omitempty"`
+	// KRows and ChipYield report Eq. 3.1 when krows was requested.
+	KRows     float64 `json:"krows,omitempty"`
+	ChipYield float64 `json:"chip_yield,omitempty"`
+}
+
+var rowScenarios = map[string]rowyield.Scenario{
+	"uncorrelated": rowyield.UncorrelatedGrowth,
+	"unaligned":    rowyield.DirectionalUnaligned,
+	"aligned":      rowyield.DirectionalAligned,
+}
+
+func (s *Server) handleRowYield(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	params, cornerName, err := cornerParams(q.Get("corner"), q.Get("pm"), q.Get("prs"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	scenarioName := q.Get("scenario")
+	scenario, ok := rowScenarios[scenarioName]
+	if !ok {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown scenario %q (have uncorrelated, unaligned, aligned)", scenarioName))
+		return
+	}
+	width, err := s.parseWidth(q.Get("width"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rounds := DefaultRowRounds
+	if v := q.Get("rounds"); v != "" {
+		rounds, err = strconv.Atoi(v)
+		if err != nil || rounds < 2 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("rounds %q must be an integer ≥ 2", v))
+			return
+		}
+		if rounds > s.cfg.MaxRowRounds {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("rounds %d exceeds limit %d", rounds, s.cfg.MaxRowRounds))
+			return
+		}
+	}
+	krows := 0.0
+	if v := q.Get("krows"); v != "" {
+		if krows, err = parseFloat("krows", v); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	// krows stays out of the flight key on purpose: it only scales the final
+	// closed form, so requests differing in krows alone still share one
+	// computation and the scaling is applied per caller below.
+	key := fmt.Sprintf("rowyield|%s|%s|%x|%d", cornerName, scenarioName, math.Float64bits(width), rounds)
+	v, err := s.flight.do(key, func() (any, error) {
+		model, err := s.deviceModel(params)
+		if err != nil {
+			return nil, err
+		}
+		devicePF, err := model.FailureProb(width)
+		if err != nil {
+			return nil, err
+		}
+		mrmin, err := rowyield.MRmin(s.params.LCNTUM*1000, s.params.PminPerUM)
+		if err != nil {
+			return nil, err
+		}
+		out := RowYieldJSON{
+			Corner: cornerName, Scenario: scenarioName, WidthNM: width,
+			MRmin: mrmin, DevicePF: devicePF,
+		}
+		switch scenario {
+		case rowyield.UncorrelatedGrowth:
+			out.PRF, err = rowyield.IndependentRowFailure(devicePF, mrmin)
+			if err != nil {
+				return nil, err
+			}
+		case rowyield.DirectionalAligned:
+			// Every CNFET in the row sees the same CNTs: pRF = pF exactly.
+			out.PRF = devicePF
+		case rowyield.DirectionalUnaligned:
+			rm, err := s.runner.RowModelAt(width, params)
+			if err != nil {
+				return nil, err
+			}
+			est, err := rm.EstimateRowFailureParallel(s.params.Seed, scenario, rounds, s.params.Workers)
+			if err != nil {
+				return nil, err
+			}
+			out.PRF, out.StdErr, out.Rounds = est.Mean, est.StdErr, est.Rounds
+		}
+		return out, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := v.(RowYieldJSON)
+	if krows > 0 {
+		out.KRows = krows
+		if out.ChipYield, err = rowyield.CorrelatedYield(krows, out.PRF); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	defer s.maybePersist()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ExperimentRequestJSON submits a job.
+type ExperimentRequestJSON struct {
+	// Experiments lists experiment names; ["all"] expands to the paper set.
+	Experiments []string `json:"experiments"`
+	// Optional parameter overrides (zero = server default).
+	Seed      uint64 `json:"seed,omitempty"`
+	Rounds    int    `json:"rounds,omitempty"`
+	Instances int    `json:"instances,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var req ExperimentRequestJSON
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Experiments) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no experiments requested"))
+		return
+	}
+	var names []string
+	for _, n := range req.Experiments {
+		if n == "all" {
+			names = append(names, experiments.Names()...)
+			continue
+		}
+		if !experiments.Known(n) {
+			msg := fmt.Sprintf("unknown experiment %q", n)
+			if hint, ok := experiments.Suggest(n); ok {
+				msg += fmt.Sprintf(" (did you mean %q?)", hint)
+			}
+			writeError(w, http.StatusBadRequest, errors.New(msg))
+			return
+		}
+		names = append(names, n)
+	}
+
+	runner := s.runner
+	params := s.params
+	if req.Seed != 0 || req.Rounds != 0 || req.Instances != 0 {
+		if req.Seed != 0 {
+			params.Seed = req.Seed
+		}
+		if req.Rounds != 0 {
+			params.MCRounds = req.Rounds
+		}
+		if req.Instances != 0 {
+			params.NetlistInstances = req.Instances
+		}
+		if err := params.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Override runners share the server's sweep cache, so even custom
+		// jobs reuse (and contribute) swept tables.
+		runner = experiments.NewWithCache(params, s.cache)
+	}
+	workers := params.Workers
+	if req.Workers != 0 {
+		workers = req.Workers
+	}
+
+	job, err := s.jobs.submit(runner, names, workers)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// StatsJSON is the /v1/stats payload.
+type StatsJSON struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	SweepCache    struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Evictions uint64 `json:"evictions"`
+		Entries   int    `json:"entries"`
+		Sweeps    uint64 `json:"sweeps"`
+	} `json:"sweep_cache"`
+	DedupedRequests uint64          `json:"deduped_requests"`
+	Jobs            map[string]int  `json:"jobs"`
+	Store           *StoreStatsJSON `json:"store,omitempty"`
+}
+
+// StoreStatsJSON reports sweep-store traffic.
+type StoreStatsJSON struct {
+	Dir     string `json:"dir"`
+	Saves   uint64 `json:"saves"`
+	Loads   uint64 `json:"loads"`
+	Rejects uint64 `json:"rejects"`
+	// LastPersistError is the most recent cache-persistence failure, empty
+	// once a later persist succeeds.
+	LastPersistError string `json:"last_persist_error,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var out StatsJSON
+	out.UptimeSeconds = time.Since(s.start).Seconds()
+	cs := s.cache.Stats()
+	out.SweepCache.Hits = cs.Hits
+	out.SweepCache.Misses = cs.Misses
+	out.SweepCache.Evictions = cs.Evictions
+	out.SweepCache.Entries = cs.Entries
+	out.SweepCache.Sweeps = cs.Sweeps
+	out.DedupedRequests = s.flight.sharedCount()
+	out.Jobs = s.jobs.counts()
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		s.persistMu.Lock()
+		lastErr := s.persistErr
+		s.persistMu.Unlock()
+		out.Store = &StoreStatsJSON{
+			Dir: s.cfg.Store.Dir(), Saves: st.Saves, Loads: st.Loads, Rejects: st.Rejects,
+			LastPersistError: lastErr,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func (s *Server) parseWidth(v string) (float64, error) {
+	if v == "" {
+		return 0, errors.New("missing width parameter (nm)")
+	}
+	width, err := parseFloat("width", v)
+	if err != nil {
+		return 0, err
+	}
+	if !(width > 0) || width > s.params.MaxWidthNM {
+		return 0, fmt.Errorf("width %g nm out of (0, %g]", width, s.params.MaxWidthNM)
+	}
+	return width, nil
+}
+
+func parseFloat(name, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("parameter %s=%q is not a finite number", name, v)
+	}
+	return f, nil
+}
+
+// decodeBody strictly decodes a bounded JSON body.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

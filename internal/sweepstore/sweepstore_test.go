@@ -1,0 +1,255 @@
+package sweepstore
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/device"
+	"github.com/cnfet/yieldlab/internal/dist"
+	"github.com/cnfet/yieldlab/internal/renewal"
+)
+
+// buildModel sweeps a small calibrated-pitch model to the given width.
+func buildModel(t *testing.T, cache *renewal.SweepCache, law dist.Continuous, maxW float64) *renewal.Model {
+	t.Helper()
+	m, err := cache.Model(law, renewal.WithStep(0.1), renewal.WithMaxWidth(maxW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CountPMF(maxW); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func pitchLaw(t *testing.T) dist.Continuous {
+	t.Helper()
+	p, err := device.CalibratedPitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Round trip: persist swept tables, load them into a fresh cache, and
+// require the restored count PMFs — and hence pF for all three paper
+// corners — to be bit-exact.
+func TestRoundTripBitExact(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	laws := []dist.Continuous{
+		pitchLaw(t),
+		dist.Exponential{Rate: 0.25},
+		dist.Deterministic{V: 4},
+	}
+	cache := renewal.NewSweepCache()
+	for _, law := range laws {
+		buildModel(t, cache, law, 80)
+	}
+	n, err := PersistCache(store, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(laws) {
+		t.Fatalf("persisted %d records, want %d", n, len(laws))
+	}
+
+	warm := renewal.NewSweepCache()
+	restored, err := WarmCache(store, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != len(laws) {
+		t.Fatalf("restored %d records, want %d", restored, len(laws))
+	}
+	widths := []float64{10, 35.5, 80}
+	for _, law := range laws {
+		orig := buildModel(t, cache, law, 80)
+		re, err := warm.Model(law, renewal.WithStep(0.1), renewal.WithMaxWidth(80))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range widths {
+			a, err := orig.CountPMF(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := re.CountPMF(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Len() != b.Len() {
+				t.Fatalf("law %v w=%g: support %d vs %d", law, w, a.Len(), b.Len())
+			}
+			for k := 0; k < a.Len(); k++ {
+				if math.Float64bits(a.Prob(k)) != math.Float64bits(b.Prob(k)) {
+					t.Fatalf("law %v w=%g count %d: %x vs %x bits", law, w,
+						k, math.Float64bits(a.Prob(k)), math.Float64bits(b.Prob(k)))
+				}
+			}
+			// The three paper corners differ only in pf; PGF over bit-equal
+			// masses is bit-equal, assert anyway at the corner level.
+			for _, c := range device.PaperCorners() {
+				pf := c.Params.PerCNTFailure()
+				if math.Float64bits(a.PGF(pf)) != math.Float64bits(b.PGF(pf)) {
+					t.Fatalf("law %v w=%g corner %s: pF differs after round trip", law, w, c.Name)
+				}
+			}
+		}
+	}
+	// Restored tables must answer without sweeping.
+	if st := warm.Stats(); st.Sweeps != 0 {
+		t.Fatalf("warm cache ran %d sweeps, want 0", st.Sweeps)
+	}
+}
+
+// Every single-byte corruption, truncation, or extension of a record file
+// must be rejected at load time, never half-decoded into the cache.
+func TestCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := renewal.NewSweepCache()
+	buildModel(t, cache, dist.Exponential{Rate: 0.25}, 40)
+	if _, err := PersistCache(store, cache); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*"+fileExt))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want 1 store file, got %v (err %v)", files, err)
+	}
+	orig, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(files[0], data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := fresh.LoadAll()
+		if err != nil {
+			t.Fatalf("%s: LoadAll should skip, not fail: %v", name, err)
+		}
+		if len(recs) != 0 {
+			t.Fatalf("%s: corrupt record was accepted", name)
+		}
+		if st := fresh.Stats(); st.Rejects != 1 {
+			t.Fatalf("%s: rejects = %d, want 1", name, st.Rejects)
+		}
+	}
+
+	// Flip one byte in several positions: magic, header, payload, CRC.
+	for _, pos := range []int{0, 7, 12, len(orig) / 2, len(orig) - 2} {
+		mut := append([]byte(nil), orig...)
+		mut[pos] ^= 0x40
+		check("bit flip", mut)
+	}
+	// Truncations at several depths.
+	for _, n := range []int{0, 4, 11, len(orig) / 3, len(orig) - 1} {
+		check("truncation", orig[:n])
+	}
+	// Trailing garbage.
+	check("trailing bytes", append(append([]byte(nil), orig...), 0xAA))
+
+	// The pristine bytes still load.
+	if err := os.WriteFile(files[0], orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := fresh.LoadAll()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("pristine file failed to load: %v (%d records)", err, len(recs))
+	}
+}
+
+// Save keeps the widest horizon: a narrower snapshot must not clobber a
+// wider record already on disk, and re-saving identical state is a no-op.
+func TestSaveKeepsWidestHorizon(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := renewal.NewSweepCache()
+	law := dist.Exponential{Rate: 0.25}
+	m := buildModel(t, cache, law, 40) // sweeps to 40 of max 40
+	wide := m.Snapshot()
+	fp, _ := dist.Fingerprint(law)
+	if err := store.Save(fp, wide); err != nil {
+		t.Fatal(err)
+	}
+	narrow := *wide
+	narrow.SweptTo = wide.SweptTo / 2
+	narrow.PMFs = wide.PMFs[:narrow.SweptTo]
+	if err := store.Save(fp, &narrow); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(fp, wide); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Saves != 1 {
+		t.Fatalf("saves = %d, want 1 (narrow and identical re-saves skipped)", st.Saves)
+	}
+	recs, err := store.LoadAll()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("LoadAll: %v (%d records)", err, len(recs))
+	}
+	if recs[0].Snapshot.SweptTo != wide.SweptTo {
+		t.Fatalf("stored horizon %d, want %d", recs[0].Snapshot.SweptTo, wide.SweptTo)
+	}
+}
+
+// Distinct grids of one law must coexist as distinct records.
+func TestDistinctGridsCoexist(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := renewal.NewSweepCache()
+	law := dist.Exponential{Rate: 0.25}
+	for _, maxW := range []float64{40, 80} {
+		m, err := cache.Model(law, renewal.WithStep(0.1), renewal.WithMaxWidth(maxW))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.CountPMF(maxW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := PersistCache(store, cache)
+	if err != nil || n != 2 {
+		t.Fatalf("persisted %d (err %v), want 2", n, err)
+	}
+	recs, err := store.LoadAll()
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("LoadAll: %v (%d records)", err, len(recs))
+	}
+}
+
+// A snapshot must refuse to restore into a model with a different grid.
+func TestRestoreRejectsGridMismatch(t *testing.T) {
+	cache := renewal.NewSweepCache()
+	m := buildModel(t, cache, dist.Exponential{Rate: 0.25}, 40)
+	snap := m.Snapshot()
+	other, err := renewal.New(dist.Exponential{Rate: 0.25}, renewal.WithStep(0.05), renewal.WithMaxWidth(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(snap); err == nil {
+		t.Fatal("restore across grids must fail")
+	}
+}

@@ -28,6 +28,8 @@
 package yieldlab
 
 import (
+	"io"
+
 	"github.com/cnfet/yieldlab/internal/alignactive"
 	"github.com/cnfet/yieldlab/internal/celllib"
 	"github.com/cnfet/yieldlab/internal/cntgrowth"
@@ -37,6 +39,8 @@ import (
 	"github.com/cnfet/yieldlab/internal/noisemargin"
 	"github.com/cnfet/yieldlab/internal/renewal"
 	"github.com/cnfet/yieldlab/internal/rowyield"
+	"github.com/cnfet/yieldlab/internal/server"
+	"github.com/cnfet/yieldlab/internal/sweepstore"
 	"github.com/cnfet/yieldlab/internal/widthdist"
 	"github.com/cnfet/yieldlab/internal/yield"
 )
@@ -95,6 +99,60 @@ func NewSharedDeviceModel(cache *SweepCache, p FailureParams) (*DeviceModel, err
 func NewSharedDeviceModelWithRange(cache *SweepCache, p FailureParams, stepNM, maxWidthNM float64) (*DeviceModel, error) {
 	return device.NewCalibratedModelWith(cache, p, renewal.WithStep(stepNM), renewal.WithMaxWidth(maxWidthNM))
 }
+
+// NewSweepCacheSized returns a sweep cache bounded to n models (LRU
+// eviction beyond that) — the right construction for long-lived services.
+func NewSweepCacheSized(n int) *SweepCache {
+	c := renewal.NewSweepCache()
+	c.SetMaxEntries(n)
+	return c
+}
+
+// Persistent sweep store and HTTP service surface.
+type (
+	// SweepStore persists swept renewal tables on disk, so a restarted
+	// process warms its sweep cache without recomputing convolutions.
+	SweepStore = sweepstore.Store
+	// ServerConfig configures the HTTP yield service.
+	ServerConfig = server.Config
+	// Server is the long-lived HTTP/JSON yield service.
+	Server = server.Server
+)
+
+// OpenSweepStore opens (creating if needed) a sweep-table store directory.
+func OpenSweepStore(dir string) (*SweepStore, error) { return sweepstore.Open(dir) }
+
+// WarmSweepCache loads every intact stored record into the cache, returning
+// how many were restored.
+func WarmSweepCache(store *SweepStore, cache *SweepCache) (int, error) {
+	return sweepstore.WarmCache(store, cache)
+}
+
+// PersistSweepCache saves every fingerprinted swept model to the store,
+// returning how many records were written.
+func PersistSweepCache(store *SweepStore, cache *SweepCache) (int, error) {
+	return sweepstore.PersistCache(store, cache)
+}
+
+// NewServer builds the HTTP yield service (serve its Handler; Close on
+// shutdown to drain jobs and persist the sweep store).
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// WriteResultsJSON renders experiment results as the service's JSON schema —
+// the encoding behind both the job API and `cnfetyield -json`.
+func WriteResultsJSON(w io.Writer, results []*Result) error {
+	return server.WriteResults(w, results)
+}
+
+// KnownExperiment reports whether name is a paper or extension experiment.
+func KnownExperiment(name string) bool { return experiments.Known(name) }
+
+// SuggestExperiment returns the known experiment name closest to a typo,
+// when one is close enough to be a plausible intent.
+func SuggestExperiment(name string) (string, bool) { return experiments.Suggest(name) }
+
+// ExperimentExtensionNames lists the non-paper extension experiments.
+func ExperimentExtensionNames() []string { return experiments.ExtensionNames() }
 
 // CalibratedPitch returns the frozen inter-CNT pitch law (see DESIGN.md §5).
 func CalibratedPitch() (dist.TruncNormal, error) { return device.CalibratedPitch() }
