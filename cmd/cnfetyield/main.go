@@ -1,18 +1,28 @@
-// Command cnfetyield regenerates the paper's tables and figures.
+// Command cnfetyield regenerates the paper's tables and figures, and
+// evaluates declarative QuerySpecs (single points or design-space sweeps).
 //
 // Usage:
 //
 //	cnfetyield [flags] <experiment|all>
+//	cnfetyield [flags] -spec file.json
 //
 // Experiments: fig2.1 fig2.2a fig2.2b table1 fig3.1 fig3.2 fig3.3 table2
+//
+// With -spec the positional experiment argument is replaced by a JSON
+// QuerySpec file ("-" reads stdin) — the same format POST /v2/query
+// accepts — and the evaluated results are written to stdout as JSON, one
+// entry per concrete spec of the sweep expansion.
 //
 // Output goes to stdout; -out writes the CSV and SVG artifacts of each
 // experiment into a directory.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,6 +41,8 @@ func run() error {
 	var (
 		outDir    = flag.String("out", "", "directory for CSV/SVG artifacts (created if missing)")
 		jsonOut   = flag.Bool("json", false, "emit results as JSON (the yieldserver schema) instead of text")
+		specFile  = flag.String("spec", "", "evaluate a JSON QuerySpec file instead of a named experiment (\"-\" = stdin)")
+		storeDir  = flag.String("store", "", "sweep-store directory for -spec runs (warm start + checkpointing)")
 		seed      = flag.Uint64("seed", 0, "Monte Carlo root seed (0 = frozen default)")
 		rounds    = flag.Int("rounds", 0, "Table 1 Monte Carlo rounds (0 = default 200000)")
 		instances = flag.Int("instances", 0, "synthetic netlist instances (0 = default 20000)")
@@ -38,12 +50,31 @@ func run() error {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: cnfetyield [flags] <experiment|all>\nexperiments: %s\nextensions: %s\nflags:\n",
+			"usage: cnfetyield [flags] <experiment|all>\n       cnfetyield [flags] -spec file.json\nexperiments: %s\nextensions: %s\nflags:\n",
 			strings.Join(yieldlab.ExperimentNames(), " "),
 			strings.Join(yieldlab.ExperimentExtensionNames(), " "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	params := yieldlab.DefaultParams()
+	if *seed != 0 {
+		params.Seed = *seed
+	}
+	if *rounds != 0 {
+		params.MCRounds = *rounds
+	}
+	if *instances != 0 {
+		params.NetlistInstances = *instances
+	}
+	params.Workers = *workers
+
+	if *specFile != "" {
+		if flag.NArg() != 0 {
+			return fmt.Errorf("-spec takes no experiment argument, got %v", flag.Args())
+		}
+		return runSpec(*specFile, *storeDir, params)
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		return fmt.Errorf("expected one experiment name, got %d args", flag.NArg())
@@ -65,19 +96,7 @@ func run() error {
 			strings.Join(yieldlab.ExperimentExtensionNames(), " "))
 	}
 
-	params := yieldlab.DefaultParams()
-	if *seed != 0 {
-		params.Seed = *seed
-	}
-	if *rounds != 0 {
-		params.MCRounds = *rounds
-	}
-	if *instances != 0 {
-		params.NetlistInstances = *instances
-	}
-	params.Workers = *workers
 	runner := yieldlab.NewRunner(params)
-
 	results, err := runner.RunMany(names, params.Workers)
 	if err != nil {
 		return err
@@ -98,6 +117,52 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runSpec evaluates a QuerySpec file through the same Session the server
+// uses, streaming sweep progress to stderr and the result JSON to stdout.
+func runSpec(path, storeDir string, params yieldlab.Params) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	spec, err := yieldlab.ParseQuerySpec(data)
+	if err != nil {
+		return err
+	}
+	opts := yieldlab.SessionOptions{Params: params}
+	if storeDir != "" {
+		store, err := yieldlab.OpenSweepStore(storeDir)
+		if err != nil {
+			return err
+		}
+		opts.Store = store
+	}
+	session, err := yieldlab.NewSession(opts)
+	if err != nil {
+		return err
+	}
+	results, err := session.EvaluateAllFunc(context.Background(), spec,
+		func(done, total int, r yieldlab.QueryResult) {
+			if total > 1 {
+				fmt.Fprintf(os.Stderr, "spec %d/%d done (%s)\n", done, total, r.Fingerprint)
+			}
+		})
+	if err != nil {
+		return err
+	}
+	if cerr := session.Close(); cerr != nil {
+		return cerr
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
 }
 
 func writeArtifacts(dir string, res *yieldlab.Result) error {

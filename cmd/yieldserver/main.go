@@ -4,8 +4,10 @@
 //
 //	yieldserver [flags]
 //
-// Endpoints: /healthz, /v1/corners, /v1/pf, /v1/pf/batch, /v1/wmin,
-// /v1/rowyield, /v1/experiments (jobs), /v1/jobs/{id}, /v1/stats.
+// Endpoints: /healthz, /metrics (Prometheus text), /v1/corners, /v1/pf,
+// /v1/pf/batch, /v1/wmin, /v1/rowyield, /v2/query (declarative QuerySpec,
+// single or sweep, sync or ?async=1 job-backed), /v1/experiments (jobs),
+// /v1/jobs/{id}, /v1/stats.
 //
 // With -store DIR the server persists swept renewal tables: a restart (or a
 // second process on the same directory) answers its first pF query from the

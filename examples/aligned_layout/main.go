@@ -4,10 +4,11 @@
 // benefit it buys (Table 1), estimated by Monte Carlo on the correlated
 // row model.
 //
-//	go run ./examples/aligned_layout
+//	go run ./examples/aligned_layout [-rounds N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,6 +16,8 @@ import (
 )
 
 func main() {
+	rounds := flag.Int("rounds", 40_000, "Monte Carlo rounds per scenario")
+	flag.Parse()
 	lib, err := yieldlab.NangateLike45()
 	if err != nil {
 		log.Fatal(err)
@@ -64,7 +67,7 @@ func main() {
 		yieldlab.DirectionalUnaligned,
 		yieldlab.DirectionalAligned,
 	} {
-		est, err := row.EstimateRowFailureParallel(1, s, 40_000, 0)
+		est, err := row.EstimateRowFailureParallel(1, s, *rounds, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -23,6 +23,7 @@ import (
 
 	"github.com/cnfet/yieldlab/internal/celllib"
 	"github.com/cnfet/yieldlab/internal/device"
+	"github.com/cnfet/yieldlab/internal/dist"
 	"github.com/cnfet/yieldlab/internal/netlist"
 	"github.com/cnfet/yieldlab/internal/place"
 	"github.com/cnfet/yieldlab/internal/renewal"
@@ -483,8 +484,15 @@ func (r *Runner) placedDesign(wmin float64) (*place.Placement, float64, error) {
 // LCNT/density parameters, and the lateral offset distribution measured on
 // the shared synthetic 45 nm library (built lazily on first use). The
 // returned model is prepared and ready for Monte Carlo estimation; the
-// long-lived server's /v1/rowyield endpoint is the main caller.
+// query Session behind the server's rowyield endpoints is the main caller.
 func (r *Runner) RowModelAt(width float64, corner device.FailureParams) (*rowyield.RowModel, error) {
+	return r.RowModelAtPitch(width, corner, nil)
+}
+
+// RowModelAtPitch is RowModelAt over an explicit inter-CNT pitch law (nil =
+// the calibrated truncated normal), so pitch-axis design-space sweeps reach
+// the row Monte Carlo too.
+func (r *Runner) RowModelAtPitch(width float64, corner device.FailureParams, pitch dist.Continuous) (*rowyield.RowModel, error) {
 	if err := r.params.Validate(); err != nil {
 		return nil, err
 	}
@@ -505,9 +513,12 @@ func (r *Runner) RowModelAt(width float64, corner device.FailureParams) (*rowyie
 	if err != nil {
 		return nil, err
 	}
-	pitch, err := device.CalibratedPitch()
-	if err != nil {
-		return nil, err
+	if pitch == nil {
+		calibrated, err := device.CalibratedPitch()
+		if err != nil {
+			return nil, err
+		}
+		pitch = calibrated
 	}
 	rm := &rowyield.RowModel{
 		Pitch:         pitch,

@@ -71,13 +71,17 @@ func Run(rounds int, f RoundFunc, opt Options) (Estimate, error) {
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
-		merged  stat.Welford
 		firstEr error
 		nextIdx int
 	)
+	// Per-batch accumulators, merged in batch order after the pool drains:
+	// floating-point merges are not associative, so merging in completion
+	// order would leak scheduling noise (±1 ulp) into the estimate and
+	// break the bit-identical reproducibility the response caches and
+	// ETags rely on.
+	accs := make([]stat.Welford, nBatches)
 	work := func() {
 		defer wg.Done()
-		var local stat.Welford
 		for {
 			mu.Lock()
 			if firstEr != nil || nextIdx >= nBatches {
@@ -94,6 +98,7 @@ func Run(rounds int, f RoundFunc, opt Options) (Estimate, error) {
 			if hi > rounds {
 				hi = rounds
 			}
+			var local stat.Welford
 			for i := lo; i < hi; i++ {
 				v, err := f(r)
 				if err != nil {
@@ -106,10 +111,8 @@ func Run(rounds int, f RoundFunc, opt Options) (Estimate, error) {
 				}
 				local.Add(v)
 			}
+			accs[b] = local
 		}
-		mu.Lock()
-		merged.Merge(local)
-		mu.Unlock()
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -118,6 +121,10 @@ func Run(rounds int, f RoundFunc, opt Options) (Estimate, error) {
 	wg.Wait()
 	if firstEr != nil {
 		return Estimate{}, firstEr
+	}
+	var merged stat.Welford
+	for b := range accs {
+		merged.Merge(accs[b])
 	}
 	return Estimate{Mean: merged.Mean(), StdErr: merged.StdErr(), Rounds: int(merged.N())}, nil
 }

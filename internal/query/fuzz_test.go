@@ -1,0 +1,78 @@
+package query
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecRoundTrip feeds arbitrary JSON to the strict spec parser. For
+// every input the parser accepts, encoding and re-parsing must reproduce
+// the same spec and the same canonical fingerprint — the lossless
+// round-trip the /v2/query and -spec surfaces depend on. Run the seed
+// corpus with `go test`, or explore with `go test -fuzz FuzzSpecRoundTrip`.
+func FuzzSpecRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{"kind": "pf", "width_nm": 155}`,
+		`{"kind": "pf", "width_nm": 155, "corner": "best", "node": "22nm"}`,
+		`{"kind": "pf", "width_nm": 103, "pm": 0.25, "prs": 0.125, "grid_step_nm": 0.1}`,
+		`{"kind": "wmin", "desired_yield": 0.99, "relax_factor": 360}`,
+		`{"kind": "rowyield", "width_nm": 155, "scenario": "unaligned", "rounds": 100, "krows": 1e6}`,
+		`{"kind": "rowyield", "width_nm": 155, "scenario": "aligned", "offsets": [0, 190], "offset_probs": [0.5, 0.5]}`,
+		`{"kind": "noise", "width_nm": 155, "prm": 0.9999, "ratio_threshold": 0.15}`,
+		`{"kind": "experiment", "experiments": ["all"], "seed": 7}`,
+		`{"kind": "wmin", "sweep": {"corners": ["worst", "mid"], "nodes": ["45nm", "22nm"], "yields": [0.9, 0.99]}}`,
+		`{"kind": "pf", "width_nm": 155, "sweep": {"widths_nm": [103, 155, 200]}}`,
+		`{"kind": "pf"}`,
+		`{"kind": "nope", "width_nm": 1}`,
+		`{"kind": "pf", "width_nm": -1}`,
+		`not json at all`,
+		`{"kind": "pf", "width_nm": 1e999}`,
+		`{"kind": "pf", "width_nm": 155, "unknown_field": 1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return // rejected inputs need no round-trip guarantee
+		}
+		encoded, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v\nspec: %+v", err, spec)
+		}
+		back, err := Parse(encoded)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\nencoded: %s", err, encoded)
+		}
+		// One round trip must reach a fixed point. (The first trip may
+		// normalize JSON spellings Go accepts loosely — case-insensitive
+		// keys, empty-vs-absent arrays — but never the semantics, which
+		// the fingerprint comparison below pins.)
+		encoded2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back2, err := Parse(encoded2)
+		if err != nil {
+			t.Fatalf("second re-parse failed: %v\nencoded: %s", err, encoded2)
+		}
+		if !reflect.DeepEqual(back, back2) {
+			t.Fatalf("round trip is not a fixed point:\n  1st: %+v\n  2nd: %+v", back, back2)
+		}
+		_, fp1, err1 := spec.Canonical()
+		_, fp2, err2 := back.Canonical()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("canonicalization disagreement: %v vs %v", err1, err2)
+		}
+		if err1 == nil && fp1 != fp2 {
+			t.Fatalf("fingerprint drifted: %s vs %s", fp1, fp2)
+		}
+		// Expansion must stay in bounds and deterministic for valid specs.
+		n := spec.ExpandCount()
+		if n < 1 || n > maxExpansion {
+			t.Fatalf("ExpandCount = %d out of [1, %d] for a validated spec", n, maxExpansion)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package query
+
+// Result is one evaluated spec: the canonical spec that produced it, its
+// fingerprint, and exactly one kind-specific payload. The payload structs
+// are also the wire forms of the server's /v1 endpoints, which is what
+// keeps /v1 responses and /v2 query results byte-identical.
+type Result struct {
+	Spec        Spec   `json:"spec"`
+	Fingerprint string `json:"fingerprint"`
+
+	PF          *PFResult       `json:"pf,omitempty"`
+	Wmin        *WminResult     `json:"wmin,omitempty"`
+	RowYield    *RowYieldResult `json:"rowyield,omitempty"`
+	Noise       *NoiseResult    `json:"noise,omitempty"`
+	Experiments []ResultJSON    `json:"experiments,omitempty"`
+}
+
+// PFResult is one device failure probability evaluation (kind pf).
+type PFResult struct {
+	Corner string `json:"corner"`
+	// Node is set when the spec scaled the width to a non-reference node.
+	Node string `json:"node,omitempty"`
+	// WidthNM is the evaluated physical width (node-scaled when Node is set).
+	WidthNM float64 `json:"width_nm"`
+	// PFCNT is the per-CNT failure probability pf (Eq. 2.1).
+	PFCNT float64 `json:"pf_cnt"`
+	// PF is the device failure probability pF(W) (Eq. 2.2).
+	PF float64 `json:"pf"`
+}
+
+// WminResult is one chip-level sizing solution (kind wmin).
+type WminResult struct {
+	Corner       string  `json:"corner"`
+	Node         string  `json:"node,omitempty"`
+	M            float64 `json:"m"`
+	DesiredYield float64 `json:"desired_yield"`
+	RelaxFactor  float64 `json:"relax_factor"`
+	WminNM       float64 `json:"wmin_nm"`
+	DevicePF     float64 `json:"device_pf"`
+	MminShare    float64 `json:"mmin_share"`
+}
+
+// RowYieldResult is one row-correlation scenario evaluation (kind rowyield).
+type RowYieldResult struct {
+	Corner   string  `json:"corner"`
+	Node     string  `json:"node,omitempty"`
+	Scenario string  `json:"scenario"`
+	WidthNM  float64 `json:"width_nm"`
+	// MRmin is Eq. 3.2: devices sharing one CNT span.
+	MRmin float64 `json:"mrmin"`
+	// DevicePF is the analytic pF(W) feeding the closed forms.
+	DevicePF float64 `json:"device_pf"`
+	// PRF is the row failure probability (analytic for the uncorrelated and
+	// aligned scenarios, Monte Carlo for unaligned).
+	PRF float64 `json:"prf"`
+	// StdErr and Rounds describe the Monte Carlo estimate (unaligned only).
+	StdErr float64 `json:"stderr,omitempty"`
+	Rounds int     `json:"rounds,omitempty"`
+	// KRows and ChipYield report Eq. 3.1 when krows was requested.
+	KRows     float64 `json:"krows,omitempty"`
+	ChipYield float64 `json:"chip_yield,omitempty"`
+}
+
+// NoiseResult is one noise-margin evaluation (kind noise): the failure
+// mode of metallic CNTs surviving removal, which the paper cites
+// ([Zhang 09b]) and excludes from count-limited yield.
+type NoiseResult struct {
+	Corner  string  `json:"corner"`
+	Node    string  `json:"node,omitempty"`
+	WidthNM float64 `json:"width_nm"`
+	// PRM is the metallic-removal efficiency pRm assumed.
+	PRM float64 `json:"prm"`
+	// RatioThreshold is the tolerable metallic/semiconducting current ratio.
+	RatioThreshold float64 `json:"ratio_threshold"`
+	// ViolationProb is the per-device noise-margin violation probability.
+	ViolationProb float64 `json:"violation_prob"`
+	// Gates and ChipYield report the chip-level noise-limited yield.
+	Gates     float64 `json:"gates"`
+	ChipYield float64 `json:"chip_yield"`
+	// RequiredPRM is the smallest pRm meeting the desired chip yield.
+	RequiredPRM float64 `json:"required_prm"`
+	// DesiredYield is the chip yield target RequiredPRM was solved for.
+	DesiredYield float64 `json:"desired_yield"`
+}

@@ -1,0 +1,421 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/device"
+	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/renewal"
+	"github.com/cnfet/yieldlab/internal/sweepstore"
+	"github.com/cnfet/yieldlab/internal/tech"
+)
+
+// testParams keeps sweeps and Monte Carlo cheap for the session suite.
+func testParams() experiments.Params {
+	p := experiments.DefaultParams()
+	p.GridStepNM = 0.1
+	p.MaxWidthNM = 200
+	p.MCRounds = 500
+	p.CorrelationRounds = 20
+	p.NetlistInstances = 500
+	p.Workers = 2
+	return p
+}
+
+func newTestSession(t *testing.T, opts Options) *Session {
+	t.Helper()
+	if (opts.Params == experiments.Params{}) {
+		opts.Params = testParams()
+	}
+	s, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEvaluatePFMatchesDeviceModel(t *testing.T) {
+	s := newTestSession(t, Options{})
+	res, err := s.Evaluate(context.Background(), Spec{Kind: KindPF, WidthNM: 155})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PF == nil || res.Fingerprint == "" {
+		t.Fatalf("result = %+v", res)
+	}
+	// The session must agree exactly with a directly built model on the
+	// same grid (shared cache ⇒ literally the same swept table).
+	m, err := device.NewCalibratedModelWith(s.Cache(), device.WorstCorner(),
+		renewal.WithStep(0.1), renewal.WithMaxWidth(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.FailureProb(155)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PF.PF != want {
+		t.Fatalf("session pF %g != model pF %g", res.PF.PF, want)
+	}
+	if res.PF.Corner != "worst" || res.PF.WidthNM != 155 || res.PF.Node != "" {
+		t.Fatalf("payload = %+v", res.PF)
+	}
+}
+
+func TestEvaluateNodeScalesWidth(t *testing.T) {
+	s := newTestSession(t, Options{})
+	ref, err := s.Evaluate(context.Background(), Spec{Kind: KindPF, WidthNM: 155})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := s.Evaluate(context.Background(), Spec{Kind: KindPF, WidthNM: 155, Node: "22nm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := tech.ByName("22nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.PF.WidthNM != node.ScaleWidth(155) {
+		t.Fatalf("scaled width %g, want %g", scaled.PF.WidthNM, node.ScaleWidth(155))
+	}
+	if scaled.PF.Node != "22nm" {
+		t.Fatalf("node echo %q", scaled.PF.Node)
+	}
+	// Narrower device, same pitch: failure probability must grow sharply.
+	if !(scaled.PF.PF > 10*ref.PF.PF) {
+		t.Fatalf("pF(22nm:%g) = %g should dwarf pF(45nm:155) = %g",
+			scaled.PF.WidthNM, scaled.PF.PF, ref.PF.PF)
+	}
+}
+
+func TestEvaluateWminAcrossNodesAndYields(t *testing.T) {
+	s := newTestSession(t, Options{})
+	base, err := s.Evaluate(context.Background(), Spec{Kind: KindWmin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: Wmin ≈ 155 nm at the worst corner, 90% yield.
+	if base.Wmin.WminNM < 140 || base.Wmin.WminNM > 170 {
+		t.Fatalf("Wmin = %g, want ≈ 155", base.Wmin.WminNM)
+	}
+	stricter, err := s.Evaluate(context.Background(), Spec{Kind: KindWmin, DesiredYield: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(stricter.Wmin.WminNM > base.Wmin.WminNM) {
+		t.Fatalf("99%% yield Wmin %g should exceed 90%% Wmin %g",
+			stricter.Wmin.WminNM, base.Wmin.WminNM)
+	}
+	scaled, err := s.Evaluate(context.Background(), Spec{Kind: KindWmin, Node: "22nm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The width distribution shrinks with the node but the pitch does not:
+	// the threshold cannot scale below the 45 nm solution's node-scaled
+	// value — that is exactly the paper's Fig. 2.2b blow-up.
+	if !(scaled.Wmin.WminNM > base.Wmin.WminNM*22.0/45.0) {
+		t.Fatalf("22nm Wmin %g vs scaled 45nm threshold %g: penalty vanished",
+			scaled.Wmin.WminNM, base.Wmin.WminNM*22.0/45.0)
+	}
+	relaxed, err := s.Evaluate(context.Background(), Spec{Kind: KindWmin, RelaxFactor: 360})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(relaxed.Wmin.WminNM < base.Wmin.WminNM) {
+		t.Fatalf("relaxed Wmin %g should beat base %g", relaxed.Wmin.WminNM, base.Wmin.WminNM)
+	}
+}
+
+func TestEvaluateRowYieldScenarios(t *testing.T) {
+	s := newTestSession(t, Options{})
+	ctx := context.Background()
+	al, err := s.Evaluate(ctx, Spec{Kind: KindRowYield, WidthNM: 155, Scenario: "aligned"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.RowYield.PRF != al.RowYield.DevicePF {
+		t.Fatalf("aligned pRF %g != pF %g", al.RowYield.PRF, al.RowYield.DevicePF)
+	}
+	unc, err := s.Evaluate(ctx, Spec{Kind: KindRowYield, WidthNM: 155, Scenario: "uncorrelated", KRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(unc.RowYield.PRF > 100*al.RowYield.PRF) {
+		t.Fatalf("uncorrelated pRF %g should dwarf aligned %g", unc.RowYield.PRF, al.RowYield.PRF)
+	}
+	if unc.RowYield.ChipYield <= 0 || unc.RowYield.ChipYield >= 1 || unc.RowYield.KRows != 1000 {
+		t.Fatalf("chip yield payload = %+v", unc.RowYield)
+	}
+	// Unaligned Monte Carlo with an explicit offset distribution: same seed
+	// twice must reproduce bit-identically (the ETag soundness property).
+	spec := Spec{Kind: KindRowYield, WidthNM: 155, Scenario: "unaligned", Rounds: 200,
+		Offsets: []float64{0, 190, 380}, OffsetProbs: []float64{0.5, 0.25, 0.25}}
+	a, err := s.Evaluate(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Evaluate(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RowYield.PRF != b.RowYield.PRF || a.RowYield.StdErr != b.RowYield.StdErr {
+		t.Fatalf("seeded Monte Carlo not reproducible: %+v vs %+v", a.RowYield, b.RowYield)
+	}
+	if a.RowYield.Rounds != 200 {
+		t.Fatalf("rounds echo = %d", a.RowYield.Rounds)
+	}
+}
+
+func TestEvaluateRowYieldRoundsBound(t *testing.T) {
+	s := newTestSession(t, Options{MaxRowRounds: 100})
+	_, err := s.Evaluate(context.Background(),
+		Spec{Kind: KindRowYield, WidthNM: 155, Scenario: "unaligned", Rounds: 500,
+			Offsets: []float64{0}, OffsetProbs: []float64{1}})
+	if err == nil {
+		t.Fatal("rounds beyond the bound accepted")
+	}
+}
+
+func TestEvaluateNoise(t *testing.T) {
+	s := newTestSession(t, Options{})
+	res, err := s.Evaluate(context.Background(), Spec{Kind: KindNoise, WidthNM: 155})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Noise
+	if n.PRM != DefaultPRM || n.Gates != s.Params().M || n.DesiredYield != s.Params().DesiredYield {
+		t.Fatalf("defaults = %+v", n)
+	}
+	if !(n.ViolationProb > 0) || !(n.ViolationProb < 1) {
+		t.Fatalf("violation prob = %g", n.ViolationProb)
+	}
+	if !(n.ChipYield >= 0) || n.ChipYield >= 1 {
+		t.Fatalf("chip yield = %g", n.ChipYield)
+	}
+	// The paper's cited requirement: ≥ 99.99% removal for practical VLSI.
+	if !(n.RequiredPRM > 0.999) {
+		t.Fatalf("required pRm = %g, want > 0.999", n.RequiredPRM)
+	}
+}
+
+func TestEvaluatePitchOverrides(t *testing.T) {
+	s := newTestSession(t, Options{})
+	ctx := context.Background()
+	base, err := s.Evaluate(ctx, Spec{Kind: KindPF, WidthNM: 155})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spelling out the calibrated law is the same computation (and the
+	// same fingerprint — no duplicate sweep).
+	explicit, err := s.Evaluate(ctx, Spec{Kind: KindPF, WidthNM: 155, PitchMeanNM: 4, PitchSigmaRatio: 2.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Fingerprint != base.Fingerprint || explicit.PF.PF != base.PF.PF {
+		t.Fatalf("explicit calibrated pitch diverged: %+v vs %+v", explicit, base)
+	}
+	// Sparser growth (larger mean pitch) means fewer CNTs per device:
+	// failure probability must rise.
+	sparse, err := s.Evaluate(ctx, Spec{Kind: KindPF, WidthNM: 155, PitchMeanNM: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sparse.PF.PF > 10*base.PF.PF) {
+		t.Fatalf("8 nm-pitch pF %g should dwarf 4 nm-pitch pF %g", sparse.PF.PF, base.PF.PF)
+	}
+	// Density variation, not mean density, sets the yield floor (the
+	// ext-pitch ablation): a nearly deterministic pitch at the same mean
+	// must do far better than the calibrated σ/µ = 2.3.
+	tight, err := s.Evaluate(ctx, Spec{Kind: KindPF, WidthNM: 155, PitchSigmaRatio: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tight.PF.PF < base.PF.PF/10) {
+		t.Fatalf("low-variance pitch pF %g should beat calibrated %g", tight.PF.PF, base.PF.PF)
+	}
+	// And the pitch mean works as a sweep axis next to the circuit knobs.
+	sweep := Spec{Kind: KindPF, WidthNM: 155, Sweep: &Sweep{
+		Corners: []string{"worst", "mid"}, PitchMeansNM: []float64{4, 6},
+	}}
+	results, err := s.EvaluateAll(ctx, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	if results[0].Spec.PitchMeanNM != 0 || results[1].Spec.PitchMeanNM != 6 {
+		t.Fatalf("pitch axis order: %+v, %+v", results[0].Spec, results[1].Spec)
+	}
+}
+
+func TestEvaluateRejectsSweep(t *testing.T) {
+	s := newTestSession(t, Options{})
+	_, err := s.Evaluate(context.Background(),
+		Spec{Kind: KindPF, WidthNM: 155, Sweep: &Sweep{Corners: []string{"worst", "best"}}})
+	if err == nil {
+		t.Fatal("sweep spec accepted by Evaluate")
+	}
+}
+
+func TestEvaluateAllDeterministicOrder(t *testing.T) {
+	spec := Spec{Kind: KindPF, WidthNM: 155, Sweep: &Sweep{
+		Corners:  []string{"worst", "mid", "best"},
+		WidthsNM: []float64{103, 155, 200},
+	}}
+	// Two sessions with different worker counts must produce identical
+	// result slices (same order, same numbers).
+	s1 := newTestSession(t, Options{Workers: 1})
+	s4 := newTestSession(t, Options{Workers: 4})
+	r1, err := s1.EvaluateAll(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := s4.EvaluateAll(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != 9 || len(r4) != 9 {
+		t.Fatalf("lengths %d, %d", len(r1), len(r4))
+	}
+	if !reflect.DeepEqual(r1, r4) {
+		t.Fatal("worker count changed sweep results")
+	}
+	// Order: corners slowest, widths fastest.
+	if r1[0].PF.Corner != "worst" || r1[0].PF.WidthNM != 103 {
+		t.Fatalf("r1[0] = %+v", r1[0].PF)
+	}
+	if r1[8].PF.Corner != "best" || r1[8].PF.WidthNM != 200 {
+		t.Fatalf("r1[8] = %+v", r1[8].PF)
+	}
+	// One pitch law, one grid: all 9 specs share a single swept model. The
+	// model extends its table incrementally per width horizon, so up to one
+	// sweep per distinct width — never one per (corner, width) pair.
+	if st := s4.Cache().Stats(); st.Entries != 1 || st.Sweeps == 0 || st.Sweeps > 3 {
+		t.Fatalf("cache stats = %+v, want one shared model with ≤ 3 sweeps", st)
+	}
+}
+
+func TestEvaluateAllProgressPrefixOrder(t *testing.T) {
+	spec := Spec{Kind: KindPF, WidthNM: 155, Sweep: &Sweep{WidthsNM: []float64{50, 100, 150, 200}}}
+	s := newTestSession(t, Options{Workers: 4})
+	var mu sync.Mutex
+	var dones []int
+	var widths []float64
+	results, err := s.EvaluateAllFunc(context.Background(), spec, func(done, total int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if total != 4 {
+			t.Errorf("total = %d", total)
+		}
+		dones = append(dones, done)
+		widths = append(widths, r.PF.WidthNM)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if !reflect.DeepEqual(dones, []int{1, 2, 3, 4}) {
+		t.Fatalf("progress dones = %v, want consecutive prefix", dones)
+	}
+	if !reflect.DeepEqual(widths, []float64{50, 100, 150, 200}) {
+		t.Fatalf("progress widths = %v, want expansion order", widths)
+	}
+}
+
+func TestEvaluateAllFirstErrorWins(t *testing.T) {
+	// Width 300 exceeds the 200 nm test grid: specs 2 and 4 fail; the
+	// error must name the earliest (index 2, 1-based).
+	spec := Spec{Kind: KindPF, WidthNM: 155, Sweep: &Sweep{WidthsNM: []float64{100, 300, 150, 300}}}
+	s := newTestSession(t, Options{Workers: 4})
+	_, err := s.EvaluateAll(context.Background(), spec)
+	if err == nil {
+		t.Fatal("invalid sweep succeeded")
+	}
+	var want = "spec 2/4"
+	if got := err.Error(); !strings.Contains(got, want) {
+		t.Fatalf("error %q should name %s", got, want)
+	}
+}
+
+func TestEvaluateAllContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := newTestSession(t, Options{})
+	_, err := s.EvaluateAll(ctx, Spec{Kind: KindPF, WidthNM: 155, Sweep: &Sweep{WidthsNM: []float64{100, 150}}})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEvaluateAllMaxSweep(t *testing.T) {
+	s := newTestSession(t, Options{MaxSweep: 3})
+	_, err := s.EvaluateAll(context.Background(),
+		Spec{Kind: KindPF, WidthNM: 155, Sweep: &Sweep{WidthsNM: []float64{100, 120, 140, 160}}})
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit 3") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSessionCheckpointPersists(t *testing.T) {
+	dir := t.TempDir()
+	store, err := sweepstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newTestSession(t, Options{Store: store})
+	if _, err := s1.Evaluate(context.Background(), Spec{Kind: KindPF, WidthNM: 155}); err != nil {
+		t.Fatal(err)
+	}
+	s1.Checkpoint()
+	if s1.LastPersistError() != "" {
+		t.Fatalf("persist error: %s", s1.LastPersistError())
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh session over the same store answers without sweeping.
+	store2, err := sweepstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := newTestSession(t, Options{Store: store2})
+	res, err := s2.Evaluate(context.Background(), Spec{Kind: KindPF, WidthNM: 155})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Cache().Stats(); st.Sweeps != 0 {
+		t.Fatalf("warm session ran %d sweeps, want 0", st.Sweeps)
+	}
+	first, err := s1.Evaluate(context.Background(), Spec{Kind: KindPF, WidthNM: 155})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PF.PF != first.PF.PF {
+		t.Fatalf("warm pF %g != cold pF %g", res.PF.PF, first.PF.PF)
+	}
+}
+
+func TestEvaluateExperiment(t *testing.T) {
+	s := newTestSession(t, Options{})
+	res, err := s.Evaluate(context.Background(),
+		Spec{Kind: KindExperiment, Experiments: []string{"fig2.2a", "ext-pitch"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Experiments) != 2 || res.Experiments[0].Name != "fig2.2a" || res.Experiments[1].Name != "ext-pitch" {
+		t.Fatalf("experiments = %+v", res.Experiments)
+	}
+	if res.Experiments[0].Table == nil || len(res.Experiments[0].Table.Rows) == 0 {
+		t.Fatal("missing table")
+	}
+}

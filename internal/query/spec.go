@@ -1,0 +1,656 @@
+// Package query defines the one declarative request language shared by the
+// yieldlab library facade, the cnfetyield CLI and the yieldserver HTTP
+// service: a JSON-(de)serializable QuerySpec describing a point — or, with
+// sweep axes, a whole cartesian design space — of the paper's implicit
+// study space (processing corner × tech node × device width × yield target
+// × row scenario), and a stateful Session that evaluates specs over a
+// shared renewal sweep cache, an optional persistent sweep store and a
+// bounded worker pool.
+//
+// The spec kinds map onto the paper's questions:
+//
+//	pf          device failure probability pF(W) (Eq. 2.2, Fig. 2.1)
+//	wmin        chip-level minimum width (Eq. 2.5, Fig. 2.2b)
+//	rowyield    row failure probability per growth/layout scenario (Table 1)
+//	noise       noise-limited yield from surviving metallic CNTs ([Zhang 09b])
+//	experiment  whole paper artifacts by name ("table1", "fig2.1", ...)
+//
+// A Spec is canonicalized by Canonical(): named corners, tech nodes and
+// scenarios are normalized and fields irrelevant to the kind are zeroed, so
+// equivalent requests share one stable fingerprint — the identity used for
+// response caching and HTTP ETags. Expand() turns sweep axes into the
+// deterministic cartesian product of concrete specs, opening the ROADMAP's
+// pitch × corner × node × yield-target exploration as a single request.
+package query
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/cnfet/yieldlab/internal/device"
+	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/rowyield"
+	"github.com/cnfet/yieldlab/internal/tech"
+)
+
+// The spec kinds.
+const (
+	KindPF         = "pf"
+	KindWmin       = "wmin"
+	KindRowYield   = "rowyield"
+	KindNoise      = "noise"
+	KindExperiment = "experiment"
+)
+
+// Kinds lists the spec kinds in documentation order.
+func Kinds() []string {
+	return []string{KindPF, KindWmin, KindRowYield, KindNoise, KindExperiment}
+}
+
+// Spec is one declarative yield query. The zero value of every optional
+// field means "use the session default"; Validate reports which fields a
+// kind requires. Specs marshal to stable JSON and round-trip losslessly.
+type Spec struct {
+	// Kind selects the computation: pf, wmin, rowyield, noise or experiment.
+	Kind string `json:"kind"`
+
+	// Corner names a Fig. 2.1 processing corner ("worst", "mid", "best" or
+	// a full label like "pm=33%, pRs=30%"). Alternatively PM/PRS give the
+	// explicit failure probabilities of Eq. 2.1; giving both is an error.
+	Corner string   `json:"corner,omitempty"`
+	PM     *float64 `json:"pm,omitempty"`
+	PRS    *float64 `json:"prs,omitempty"`
+
+	// Node names a technology node ("45nm", "32nm", "22nm", "16nm"). Widths
+	// are interpreted at the 45 nm reference and scaled linearly to the node
+	// while the CNT pitch stays at 4 nm — the paper's Section 2.2 rule.
+	// Empty (or the reference node itself) means no scaling.
+	Node string `json:"node,omitempty"`
+
+	// WidthNM is the device width at the 45 nm reference, required by the
+	// pf, rowyield and noise kinds.
+	WidthNM float64 `json:"width_nm,omitempty"`
+
+	// GridStepNM and MaxWidthNM override the renewal grid (0 = session
+	// default). Changing them changes the cache identity, never a result.
+	GridStepNM float64 `json:"grid_step_nm,omitempty"`
+	MaxWidthNM float64 `json:"max_width_nm,omitempty"`
+
+	// PitchMeanNM overrides the mean inter-CNT pitch (0 = the calibrated
+	// 4 nm of [Deng 07]); PitchSigmaRatio the parent-normal σ/µ of the
+	// truncated-normal pitch law (0 = the calibrated 2.3). Together they
+	// open processing itself — CNT density and its variability — as sweep
+	// coordinates next to the circuit-side knobs.
+	PitchMeanNM     float64 `json:"pitch_mean_nm,omitempty"`
+	PitchSigmaRatio float64 `json:"pitch_sigma_ratio,omitempty"`
+
+	// M is the chip transistor count (wmin) or gate count (noise);
+	// DesiredYield the chip yield target; RelaxFactor the failure-budget
+	// relaxation of Eq. 3.1 (1 = uncorrelated baseline, MRmin ≈ 360 after
+	// the aligned-active co-optimization). Zero = session defaults.
+	M            float64 `json:"m,omitempty"`
+	DesiredYield float64 `json:"desired_yield,omitempty"`
+	RelaxFactor  float64 `json:"relax_factor,omitempty"`
+
+	// Scenario selects the Table 1 growth/layout combination for rowyield:
+	// "uncorrelated", "unaligned" or "aligned".
+	Scenario string `json:"scenario,omitempty"`
+	// Rounds is the Monte Carlo budget of the unaligned scenario
+	// (0 = DefaultRowRounds).
+	Rounds int `json:"rounds,omitempty"`
+	// KRows, when positive, additionally reports the Eq. 3.1 chip yield
+	// (1-pRF)^KRows.
+	KRows float64 `json:"krows,omitempty"`
+	// Offsets/OffsetProbs optionally replace the library-measured lateral
+	// offset distribution of the unaligned scenario.
+	Offsets     []float64 `json:"offsets,omitempty"`
+	OffsetProbs []float64 `json:"offset_probs,omitempty"`
+
+	// PRM is the metallic-removal efficiency pRm of the noise kind
+	// (nil = 0.9999, the paper's quoted requirement); RatioThreshold the
+	// tolerable metallic-to-semiconducting current ratio (0 = default).
+	PRM            *float64 `json:"prm,omitempty"`
+	RatioThreshold float64  `json:"ratio_threshold,omitempty"`
+
+	// Experiments lists artifact names for the experiment kind; "all"
+	// expands to the paper set.
+	Experiments []string `json:"experiments,omitempty"`
+
+	// Seed overrides the Monte Carlo root seed (0 = session default).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Sweep, when non-nil, expands this spec into the cartesian product of
+	// its axes; the scalar fields above provide the fixed coordinates.
+	Sweep *Sweep `json:"sweep,omitempty"`
+}
+
+// Sweep declares the axes of a design-space sweep. Every non-empty axis
+// multiplies the expansion; axis order below is the deterministic expansion
+// order (corners vary slowest, scenarios fastest).
+type Sweep struct {
+	Corners      []string  `json:"corners,omitempty"`
+	PitchMeansNM []float64 `json:"pitch_means_nm,omitempty"`
+	Nodes        []string  `json:"nodes,omitempty"`
+	WidthsNM     []float64 `json:"widths_nm,omitempty"`
+	Yields       []float64 `json:"yields,omitempty"`
+	RelaxFactors []float64 `json:"relax_factors,omitempty"`
+	Scenarios    []string  `json:"scenarios,omitempty"`
+}
+
+// empty reports whether no axis has entries.
+func (s *Sweep) empty() bool {
+	return s == nil || len(s.Corners)+len(s.PitchMeansNM)+len(s.Nodes)+len(s.WidthsNM)+
+		len(s.Yields)+len(s.RelaxFactors)+len(s.Scenarios) == 0
+}
+
+// DefaultRowRounds is the Monte Carlo budget of an unaligned rowyield spec
+// that does not name one.
+const DefaultRowRounds = 2_000
+
+// DefaultPRM is the metallic-removal efficiency assumed by a noise spec
+// that does not name one: the paper's quoted "beyond 99.99%" requirement.
+const DefaultPRM = 0.9999
+
+// maxExpansion is an absolute sanity bound on Expand; services should
+// enforce their own (smaller) budget via ExpandCount.
+const maxExpansion = 1 << 20
+
+// cornerShortNames maps the API names onto device.PaperCorners(), worst
+// first — the one naming shared by the CLI, the server and specs.
+var cornerShortNames = []string{"worst", "mid", "best"}
+
+// CornerNames returns the short corner names in Fig. 2.1 order, worst first.
+func CornerNames() []string { return append([]string(nil), cornerShortNames...) }
+
+// ResolveCorner maps a short name ("worst"), a full Fig. 2.1 label
+// ("pm=33%, pRs=30%") or the empty string (= worst) to failure parameters
+// and the canonical short name.
+func ResolveCorner(name string) (device.FailureParams, string, error) {
+	if name == "" {
+		name = cornerShortNames[0]
+	}
+	for i, c := range device.PaperCorners() {
+		if name == cornerShortNames[i] || name == c.Name {
+			return c.Params, cornerShortNames[i], nil
+		}
+	}
+	return device.FailureParams{}, "", fmt.Errorf("unknown corner %q (have %s, or give pm and prs)",
+		name, strings.Join(cornerShortNames, ", "))
+}
+
+// scenarioNames maps spec scenario names onto rowyield scenarios.
+var scenarioNames = map[string]rowyield.Scenario{
+	"uncorrelated": rowyield.UncorrelatedGrowth,
+	"unaligned":    rowyield.DirectionalUnaligned,
+	"aligned":      rowyield.DirectionalAligned,
+}
+
+// ResolveScenario maps a spec scenario name to the rowyield scenario.
+func ResolveScenario(name string) (rowyield.Scenario, error) {
+	s, ok := scenarioNames[name]
+	if !ok {
+		return 0, fmt.Errorf("unknown scenario %q (have uncorrelated, unaligned, aligned)", name)
+	}
+	return s, nil
+}
+
+// resolveNode maps a node name (or "" = reference) to a tech node.
+func resolveNode(name string) (tech.Node, error) {
+	if name == "" {
+		return tech.Reference, nil
+	}
+	return tech.ByName(name)
+}
+
+// FailureParams resolves the spec's corner/pm/prs triple to failure
+// parameters and the canonical corner name.
+func (q Spec) FailureParams() (device.FailureParams, string, error) {
+	if q.PM != nil || q.PRS != nil {
+		if q.Corner != "" {
+			return device.FailureParams{}, "", fmt.Errorf("give either corner or pm/prs, not both")
+		}
+		if q.PM == nil || q.PRS == nil {
+			return device.FailureParams{}, "", fmt.Errorf("explicit corners need both pm and prs")
+		}
+		p := device.FailureParams{PMetallic: *q.PM, PRemoveSemi: *q.PRS, PRemoveMetallic: 1}
+		if err := p.Validate(); err != nil {
+			return device.FailureParams{}, "", err
+		}
+		return p, fmt.Sprintf("pm=%g,prs=%g", *q.PM, *q.PRS), nil
+	}
+	return ResolveCorner(q.Corner)
+}
+
+// Validate checks the spec describes one well-posed query (or sweep).
+func (q Spec) Validate() error {
+	wrap := func(err error) error {
+		if err == nil {
+			return nil
+		}
+		return fmt.Errorf("query: %s spec: %w", q.Kind, err)
+	}
+	switch q.Kind {
+	case KindPF, KindWmin, KindRowYield, KindNoise, KindExperiment:
+	default:
+		return fmt.Errorf("query: unknown kind %q (have %s)", q.Kind, strings.Join(Kinds(), ", "))
+	}
+
+	if q.Kind == KindExperiment {
+		if q.Corner != "" || q.PM != nil || q.PRS != nil {
+			return wrap(fmt.Errorf("experiment specs take no corner (experiments fix their own)"))
+		}
+		if len(q.Experiments) == 0 {
+			return wrap(fmt.Errorf("no experiments named"))
+		}
+		for _, n := range q.Experiments {
+			if n != "all" && !experiments.Known(n) {
+				msg := fmt.Sprintf("unknown experiment %q", n)
+				if hint, ok := experiments.Suggest(n); ok {
+					msg += fmt.Sprintf(" (did you mean %q?)", hint)
+				}
+				return wrap(fmt.Errorf("%s", msg))
+			}
+		}
+	} else if _, _, err := q.FailureParams(); err != nil {
+		return wrap(err)
+	}
+
+	if _, err := resolveNode(q.Node); err != nil {
+		return wrap(err)
+	}
+	if q.GridStepNM < 0 || math.IsNaN(q.GridStepNM) {
+		return wrap(fmt.Errorf("grid step %g must be ≥ 0", q.GridStepNM))
+	}
+	if q.MaxWidthNM < 0 || math.IsNaN(q.MaxWidthNM) {
+		return wrap(fmt.Errorf("max width %g must be ≥ 0", q.MaxWidthNM))
+	}
+	if q.PitchMeanNM < 0 || math.IsNaN(q.PitchMeanNM) {
+		return wrap(fmt.Errorf("pitch mean %g must be ≥ 0", q.PitchMeanNM))
+	}
+	if q.PitchSigmaRatio < 0 || math.IsNaN(q.PitchSigmaRatio) {
+		return wrap(fmt.Errorf("pitch sigma ratio %g must be ≥ 0", q.PitchSigmaRatio))
+	}
+	if q.Kind == KindExperiment && (q.PitchMeanNM != 0 || q.PitchSigmaRatio != 0) {
+		return wrap(fmt.Errorf("experiments fix their own pitch law"))
+	}
+
+	needsWidth := q.Kind == KindPF || q.Kind == KindRowYield || q.Kind == KindNoise
+	widthSwept := q.Sweep != nil && len(q.Sweep.WidthsNM) > 0
+	if needsWidth && !widthSwept {
+		if !(q.WidthNM > 0) || math.IsNaN(q.WidthNM) {
+			return wrap(fmt.Errorf("width %g must be positive", q.WidthNM))
+		}
+	}
+	if q.M < 0 || math.IsNaN(q.M) {
+		return wrap(fmt.Errorf("m %g must be ≥ 0", q.M))
+	}
+	if q.DesiredYield != 0 && (!(q.DesiredYield > 0) || q.DesiredYield >= 1 || math.IsNaN(q.DesiredYield)) {
+		return wrap(fmt.Errorf("desired yield %g out of (0,1)", q.DesiredYield))
+	}
+	if q.RelaxFactor != 0 && (q.RelaxFactor < 1 || math.IsNaN(q.RelaxFactor)) {
+		return wrap(fmt.Errorf("relax factor %g must be ≥ 1", q.RelaxFactor))
+	}
+
+	if q.Kind == KindRowYield {
+		scenarioSwept := q.Sweep != nil && len(q.Sweep.Scenarios) > 0
+		if !scenarioSwept {
+			if _, err := ResolveScenario(q.Scenario); err != nil {
+				return wrap(err)
+			}
+		}
+		if q.Rounds != 0 && q.Rounds < 2 {
+			return wrap(fmt.Errorf("rounds %d must be ≥ 2", q.Rounds))
+		}
+		if q.KRows < 0 || math.IsNaN(q.KRows) {
+			return wrap(fmt.Errorf("krows %g must be ≥ 0", q.KRows))
+		}
+		if len(q.Offsets) > 0 || len(q.OffsetProbs) > 0 {
+			if _, err := rowyield.NewOffsetDist(q.Offsets, q.OffsetProbs); err != nil {
+				return wrap(err)
+			}
+		}
+	} else if q.Scenario != "" || len(q.Offsets) > 0 || len(q.OffsetProbs) > 0 {
+		return wrap(fmt.Errorf("scenario fields apply only to rowyield specs"))
+	}
+
+	if q.Kind == KindNoise {
+		if q.PRM != nil && (*q.PRM < 0 || *q.PRM > 1 || math.IsNaN(*q.PRM)) {
+			return wrap(fmt.Errorf("prm %g out of [0,1]", *q.PRM))
+		}
+		if q.RatioThreshold < 0 || math.IsNaN(q.RatioThreshold) {
+			return wrap(fmt.Errorf("ratio threshold %g must be ≥ 0", q.RatioThreshold))
+		}
+	} else if q.PRM != nil || q.RatioThreshold != 0 {
+		return wrap(fmt.Errorf("noise fields apply only to noise specs"))
+	}
+
+	if q.Kind != KindExperiment && len(q.Experiments) > 0 {
+		return wrap(fmt.Errorf("experiments list applies only to experiment specs"))
+	}
+
+	return q.validateSweep()
+}
+
+// validateSweep checks axis values and their applicability to the kind.
+func (q Spec) validateSweep() error {
+	if q.Sweep.empty() {
+		return nil
+	}
+	s := q.Sweep
+	wrap := func(axis string, err error) error {
+		return fmt.Errorf("query: %s sweep axis %s: %w", q.Kind, axis, err)
+	}
+	if q.Kind == KindExperiment {
+		return fmt.Errorf("query: experiment specs do not sweep (list experiments instead)")
+	}
+	if len(s.Corners) > 0 && (q.PM != nil || q.PRS != nil) {
+		return wrap("corners", fmt.Errorf("cannot combine with explicit pm/prs"))
+	}
+	for _, c := range s.Corners {
+		if _, _, err := ResolveCorner(c); err != nil {
+			return wrap("corners", err)
+		}
+	}
+	for _, p := range s.PitchMeansNM {
+		if !(p > 0) || math.IsNaN(p) {
+			return wrap("pitch_means_nm", fmt.Errorf("pitch mean %g must be positive", p))
+		}
+	}
+	for _, n := range s.Nodes {
+		if _, err := resolveNode(n); err != nil {
+			return wrap("nodes", err)
+		}
+	}
+	for _, w := range s.WidthsNM {
+		if !(w > 0) || math.IsNaN(w) {
+			return wrap("widths_nm", fmt.Errorf("width %g must be positive", w))
+		}
+	}
+	if len(s.WidthsNM) > 0 && q.Kind == KindWmin {
+		return wrap("widths_nm", fmt.Errorf("wmin solves for the width; sweep yields or relax factors instead"))
+	}
+	for _, y := range s.Yields {
+		if !(y > 0) || y >= 1 || math.IsNaN(y) {
+			return wrap("yields", fmt.Errorf("yield %g out of (0,1)", y))
+		}
+	}
+	if len(s.Yields) > 0 && !(q.Kind == KindWmin || q.Kind == KindNoise) {
+		return wrap("yields", fmt.Errorf("yield targets apply to wmin and noise specs"))
+	}
+	for _, r := range s.RelaxFactors {
+		if r < 1 || math.IsNaN(r) {
+			return wrap("relax_factors", fmt.Errorf("relax factor %g must be ≥ 1", r))
+		}
+	}
+	if len(s.RelaxFactors) > 0 && q.Kind != KindWmin {
+		return wrap("relax_factors", fmt.Errorf("relax factors apply to wmin specs"))
+	}
+	for _, sc := range s.Scenarios {
+		if _, err := ResolveScenario(sc); err != nil {
+			return wrap("scenarios", err)
+		}
+	}
+	if len(s.Scenarios) > 0 && q.Kind != KindRowYield {
+		return wrap("scenarios", fmt.Errorf("scenarios apply to rowyield specs"))
+	}
+	if n := q.ExpandCount(); n > maxExpansion {
+		return fmt.Errorf("query: sweep expands to %d specs, beyond the %d sanity bound", n, maxExpansion)
+	}
+	return nil
+}
+
+// Canonical returns the normalized spec and its stable fingerprint. Two
+// specs describing the same computation — e.g. corner "" vs "worst" vs the
+// full Fig. 2.1 label, or the reference node named explicitly — normalize
+// to identical canonical forms and share one fingerprint, which is the
+// identity used for response caching and HTTP ETags. The canonical form
+// also zeroes every field the kind does not read, so stray defaults can
+// never split the cache.
+func (q Spec) Canonical() (Spec, string, error) {
+	if err := q.Validate(); err != nil {
+		return Spec{}, "", badRequest(err)
+	}
+	c := q
+	if c.Kind != KindExperiment && c.PM == nil {
+		_, name, err := ResolveCorner(c.Corner)
+		if err != nil {
+			return Spec{}, "", err
+		}
+		c.Corner = name
+	}
+	node, err := resolveNode(c.Node)
+	if err != nil {
+		return Spec{}, "", err
+	}
+	if node.Name == tech.Reference.Name {
+		c.Node = "" // the reference node is the no-scaling default
+	} else {
+		c.Node = node.Name
+	}
+	// Explicitly spelling out the calibrated pitch law is the default law.
+	if c.PitchMeanNM == device.MeanPitchNM {
+		c.PitchMeanNM = 0
+	}
+	if c.PitchSigmaRatio == device.PitchSigmaRatio {
+		c.PitchSigmaRatio = 0
+	}
+	// Spec-level defaults spelled out explicitly are the default: relax
+	// factor 1 is the uncorrelated baseline, DefaultRowRounds the Monte
+	// Carlo budget a spec gets anyway. (Session-level defaults like M and
+	// DesiredYield cannot be normalized here — the spec does not know
+	// them.)
+	if c.RelaxFactor == 1 {
+		c.RelaxFactor = 0
+	}
+	if c.Rounds == DefaultRowRounds {
+		c.Rounds = 0
+	}
+
+	// Zero what the kind does not read.
+	if c.Kind != KindRowYield {
+		c.Scenario, c.Rounds, c.KRows = "", 0, 0
+		c.Offsets, c.OffsetProbs = nil, nil
+	}
+	if c.Kind != KindNoise {
+		c.PRM, c.RatioThreshold = nil, 0
+	}
+	if c.Kind != KindWmin {
+		c.RelaxFactor = 0
+	}
+	if c.Kind != KindWmin && c.Kind != KindNoise {
+		c.M, c.DesiredYield = 0, 0
+	}
+	if c.Kind == KindPF || c.Kind == KindWmin || c.Kind == KindNoise {
+		c.Seed = 0 // fully analytic kinds ignore the seed
+	}
+	if c.Kind != KindExperiment {
+		c.Experiments = nil
+	} else {
+		// "all" expands here so the fingerprint names the actual work.
+		var names []string
+		for _, n := range c.Experiments {
+			if n == "all" {
+				names = append(names, experiments.Names()...)
+			} else {
+				names = append(names, n)
+			}
+		}
+		c.Experiments = names
+		c.Corner, c.PM, c.PRS = "", nil, nil
+		c.Node, c.WidthNM = "", 0
+	}
+	if c.Kind == KindWmin {
+		c.WidthNM = 0
+	}
+	if c.Sweep.empty() {
+		c.Sweep = nil
+	} else {
+		s := *c.Sweep
+		s.Corners = append([]string(nil), s.Corners...)
+		for i, name := range s.Corners {
+			if _, short, err := ResolveCorner(name); err == nil {
+				s.Corners[i] = short
+			}
+		}
+		s.Nodes = append([]string(nil), s.Nodes...)
+		for i, name := range s.Nodes {
+			if node, err := resolveNode(name); err == nil {
+				s.Nodes[i] = node.Name
+			}
+		}
+		c.Sweep = &s
+	}
+	return c, fingerprint(c), nil
+}
+
+// fingerprint hashes the canonical JSON encoding. Struct-order JSON keys
+// make the encoding deterministic, so the hash is stable across processes.
+func fingerprint(c Spec) string {
+	data, err := json.Marshal(c)
+	if err != nil {
+		// Spec fields are plain data; marshal cannot fail for a validated spec.
+		panic(fmt.Sprintf("query: marshaling canonical spec: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return "qs1-" + hex.EncodeToString(sum[:12])
+}
+
+// ExpandCount returns how many concrete specs Expand would produce,
+// without materializing them. Products beyond the maxExpansion sanity
+// bound saturate at maxExpansion+1 instead of multiplying on: unchecked
+// int multiplication could wrap past every size check and let a small
+// request demand an astronomic expansion.
+func (q Spec) ExpandCount() int {
+	if q.Sweep.empty() {
+		return 1
+	}
+	n := 1
+	for _, axis := range []int{
+		len(q.Sweep.Corners), len(q.Sweep.PitchMeansNM), len(q.Sweep.Nodes),
+		len(q.Sweep.WidthsNM), len(q.Sweep.Yields), len(q.Sweep.RelaxFactors),
+		len(q.Sweep.Scenarios),
+	} {
+		if axis > 0 {
+			if n > maxExpansion/axis {
+				return maxExpansion + 1
+			}
+			n *= axis
+		}
+	}
+	return n
+}
+
+// Expand validates the spec and turns its sweep axes into the cartesian
+// product of concrete (sweep-free, canonical) specs, in deterministic
+// order: corners vary slowest, then pitch means, nodes, widths, yields,
+// relax factors, scenarios. A spec without sweep axes expands to its
+// canonical self.
+func (q Spec) Expand() ([]Spec, error) {
+	base, _, err := q.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	if base.Sweep.empty() {
+		base.Sweep = nil
+		return []Spec{base}, nil
+	}
+	s := *base.Sweep
+	base.Sweep = nil
+
+	out := []Spec{base}
+	// Each axis multiplies the current expansion, preserving order: the
+	// earlier axes stay the slow-varying ones.
+	if len(s.Corners) > 0 {
+		out = expandAxis(out, s.Corners, func(q *Spec, v string) { q.Corner = v })
+	}
+	if len(s.PitchMeansNM) > 0 {
+		out = expandAxis(out, s.PitchMeansNM, func(q *Spec, v float64) { q.PitchMeanNM = v })
+	}
+	if len(s.Nodes) > 0 {
+		out = expandAxis(out, s.Nodes, func(q *Spec, v string) { q.Node = v })
+	}
+	if len(s.WidthsNM) > 0 {
+		out = expandAxis(out, s.WidthsNM, func(q *Spec, v float64) { q.WidthNM = v })
+	}
+	if len(s.Yields) > 0 {
+		out = expandAxis(out, s.Yields, func(q *Spec, v float64) { q.DesiredYield = v })
+	}
+	if len(s.RelaxFactors) > 0 {
+		out = expandAxis(out, s.RelaxFactors, func(q *Spec, v float64) { q.RelaxFactor = v })
+	}
+	if len(s.Scenarios) > 0 {
+		out = expandAxis(out, s.Scenarios, func(q *Spec, v string) { q.Scenario = v })
+	}
+	// Re-canonicalize: axis values were validated, but node names still
+	// need the reference-node normalization and kind-irrelevant zeroing.
+	for i := range out {
+		c, _, err := out[i].Canonical()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// expandAxis replaces each spec with len(values) copies, one per value.
+func expandAxis[T any](specs []Spec, values []T, set func(*Spec, T)) []Spec {
+	out := make([]Spec, 0, len(specs)*len(values))
+	for _, q := range specs {
+		for _, v := range values {
+			c := q
+			set(&c, v)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Parse strictly decodes a spec from JSON, rejecting unknown fields, and
+// validates it.
+func Parse(data []byte) (Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var q Spec
+	if err := dec.Decode(&q); err != nil {
+		return Spec{}, badRequest(fmt.Errorf("query: decoding spec: %w", err))
+	}
+	if err := q.Validate(); err != nil {
+		return Spec{}, badRequest(err)
+	}
+	return q, nil
+}
+
+// RequestError marks an error as the caller's fault — an invalid or
+// out-of-bounds spec rather than an evaluation failure — so transports can
+// map it to a 4xx instead of a 5xx.
+type RequestError struct{ err error }
+
+func (e *RequestError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *RequestError) Unwrap() error { return e.err }
+
+// badRequest wraps a non-nil error as a RequestError (idempotently).
+func badRequest(err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *RequestError
+	if errors.As(err, &re) {
+		return err
+	}
+	return &RequestError{err}
+}
+
+// IsRequestError reports whether err (anywhere in its chain) marks a
+// caller mistake rather than an internal evaluation failure.
+func IsRequestError(err error) bool {
+	var re *RequestError
+	return errors.As(err, &re)
+}

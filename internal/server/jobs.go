@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/query"
 )
 
 // Job states, in lifecycle order.
@@ -16,34 +18,63 @@ const (
 	JobFailed  = "failed"
 )
 
-// JobJSON is the wire form of one experiment job.
+// Job kinds.
+const (
+	JobKindExperiments = "experiments"
+	JobKindQuery       = "query"
+)
+
+// JobJSON is the wire form of one job: an experiment batch (POST
+// /v1/experiments) or a query sweep (POST /v2/query?async=1).
 type JobJSON struct {
-	ID          string       `json:"id"`
-	Experiments []string     `json:"experiments"`
-	State       string       `json:"state"`
-	Error       string       `json:"error,omitempty"`
-	Results     []ResultJSON `json:"results,omitempty"`
-	CreatedAt   time.Time    `json:"created_at"`
-	StartedAt   *time.Time   `json:"started_at,omitempty"`
-	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Experiments lists the artifact names of an experiments job.
+	Experiments []string `json:"experiments,omitempty"`
+	State       string   `json:"state"`
+	Error       string   `json:"error,omitempty"`
+	// Results carries a finished experiments job's artifacts.
+	Results []ResultJSON `json:"results,omitempty"`
+	// Query echoes a query job's canonical spec and Fingerprint its stable
+	// identity; QueryResults grows in expansion order while the sweep runs
+	// (checkpointed partial results), and Done/Total report its progress.
+	Query        *query.Spec    `json:"query,omitempty"`
+	Fingerprint  string         `json:"fingerprint,omitempty"`
+	QueryResults []query.Result `json:"query_results,omitempty"`
+	Done         int            `json:"done,omitempty"`
+	Total        int            `json:"total,omitempty"`
+	CreatedAt    time.Time      `json:"created_at"`
+	StartedAt    *time.Time     `json:"started_at,omitempty"`
+	FinishedAt   *time.Time     `json:"finished_at,omitempty"`
 }
 
 type jobRecord struct {
-	id       string
-	names    []string
-	runner   *experiments.Runner
-	workers  int
-	state    string
-	err      string
-	results  []ResultJSON
+	id    string
+	state string
+	err   string
+
+	// Experiments jobs.
+	names   []string
+	runner  *experiments.Runner
+	workers int
+	results []ResultJSON
+
+	// Query jobs.
+	spec        *query.Spec
+	fingerprint string
+	session     *query.Session
+	qresults    []query.Result
+	qdone       int
+	qtotal      int
+
 	created  time.Time
 	started  time.Time
 	finished time.Time
 }
 
-// jobEngine runs experiment jobs on a bounded pool and retains a bounded
-// history. Each job executes its experiments through the concurrent Runner
-// (RunMany), so one job already parallelizes internally; the engine's own
+// jobEngine runs jobs on a bounded pool and retains a bounded history.
+// Each job parallelizes internally (the concurrent Runner for experiment
+// batches, the session's worker pool for query sweeps); the engine's own
 // bound limits how many jobs compute at once.
 type jobEngine struct {
 	mu      sync.Mutex
@@ -77,15 +108,13 @@ func newJobEngine(maxJobs, concurrent int, onDone func()) *jobEngine {
 // errJobsFull rejects submissions while the open-job bound is reached.
 var errJobsFull = fmt.Errorf("job queue full, retry later")
 
-// submit queues a job over pre-validated experiment names and starts it as
-// soon as a pool slot frees up. Open (queued or running) jobs are bounded
-// by the same maxJobs knob as the retained history, so a submit flood is
-// refused instead of growing records and goroutines without limit.
-func (e *jobEngine) submit(runner *experiments.Runner, names []string, workers int) (JobJSON, error) {
+// enqueue admits a populated record under the open-job bound and starts it
+// as soon as a pool slot frees up.
+func (e *jobEngine) enqueue(j *jobRecord) (JobJSON, error) {
 	e.mu.Lock()
 	open := 0
-	for _, j := range e.jobs {
-		if j.state == JobQueued || j.state == JobRunning {
+	for _, rec := range e.jobs {
+		if rec.state == JobQueued || rec.state == JobRunning {
 			open++
 		}
 	}
@@ -94,14 +123,9 @@ func (e *jobEngine) submit(runner *experiments.Runner, names []string, workers i
 		return JobJSON{}, errJobsFull
 	}
 	e.nextID++
-	j := &jobRecord{
-		id:      fmt.Sprintf("job-%d", e.nextID),
-		names:   append([]string(nil), names...),
-		runner:  runner,
-		workers: workers,
-		state:   JobQueued,
-		created: time.Now(),
-	}
+	j.id = fmt.Sprintf("job-%d", e.nextID)
+	j.state = JobQueued
+	j.created = time.Now()
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
 	e.evictLocked()
@@ -111,6 +135,29 @@ func (e *jobEngine) submit(runner *experiments.Runner, names []string, workers i
 	e.wg.Add(1)
 	go e.run(j)
 	return snap, nil
+}
+
+// submit queues an experiments job over pre-validated experiment names.
+// Open (queued or running) jobs are bounded by the same maxJobs knob as the
+// retained history, so a submit flood is refused instead of growing records
+// and goroutines without limit.
+func (e *jobEngine) submit(runner *experiments.Runner, names []string, workers int) (JobJSON, error) {
+	return e.enqueue(&jobRecord{
+		names:   append([]string(nil), names...),
+		runner:  runner,
+		workers: workers,
+	})
+}
+
+// submitQuery queues a query-sweep job over a canonical spec.
+func (e *jobEngine) submitQuery(session *query.Session, spec query.Spec, fingerprint string) (JobJSON, error) {
+	specCopy := spec
+	return e.enqueue(&jobRecord{
+		spec:        &specCopy,
+		fingerprint: fingerprint,
+		session:     session,
+		qtotal:      spec.ExpandCount(),
+	})
 }
 
 func (e *jobEngine) run(j *jobRecord) {
@@ -123,7 +170,26 @@ func (e *jobEngine) run(j *jobRecord) {
 	j.started = time.Now()
 	e.mu.Unlock()
 
-	results, err := j.runner.RunMany(j.names, j.workers)
+	var err error
+	if j.spec != nil {
+		// Query sweeps checkpoint partial results as the completed prefix
+		// grows, so a polling client watches the sweep fill in.
+		_, err = j.session.EvaluateAllFunc(context.Background(), *j.spec,
+			func(done, total int, r query.Result) {
+				e.mu.Lock()
+				j.qresults = append(j.qresults, r)
+				j.qdone, j.qtotal = done, total
+				e.mu.Unlock()
+			})
+	} else {
+		var results []*experiments.Result
+		results, err = j.runner.RunMany(j.names, j.workers)
+		if err == nil {
+			e.mu.Lock()
+			j.results = EncodeResults(results)
+			e.mu.Unlock()
+		}
+	}
 
 	e.mu.Lock()
 	j.finished = time.Now()
@@ -132,7 +198,6 @@ func (e *jobEngine) run(j *jobRecord) {
 		j.err = err.Error()
 	} else {
 		j.state = JobDone
-		j.results = EncodeResults(results)
 	}
 	e.mu.Unlock()
 	if e.onDone != nil {
@@ -189,11 +254,20 @@ func (e *jobEngine) evictLocked() {
 func (j *jobRecord) snapshotLocked() JobJSON {
 	out := JobJSON{
 		ID:          j.id,
+		Kind:        JobKindExperiments,
 		Experiments: append([]string(nil), j.names...),
 		State:       j.state,
 		Error:       j.err,
 		Results:     j.results,
 		CreatedAt:   j.created,
+	}
+	if j.spec != nil {
+		out.Kind = JobKindQuery
+		specCopy := *j.spec
+		out.Query = &specCopy
+		out.Fingerprint = j.fingerprint
+		out.QueryResults = append([]query.Result(nil), j.qresults...)
+		out.Done, out.Total = j.qdone, j.qtotal
 	}
 	if !j.started.IsZero() {
 		t := j.started

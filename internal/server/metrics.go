@@ -1,0 +1,175 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/cnfet/yieldlab/internal/renewal"
+)
+
+// metricsRegistry aggregates per-route request counters and latency sums
+// for the Prometheus-text /metrics endpoint — the load-tracking surface the
+// heavy-traffic north star asks for. It is deliberately dependency-free:
+// the exposition format is a few lines of text, not worth a client library.
+type metricsRegistry struct {
+	mu sync.Mutex
+	// requests counts completed requests by route and status code.
+	requests map[routeCode]uint64
+	// latency accumulates per-route request durations.
+	latency map[string]*latencyAgg
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+type latencyAgg struct {
+	count   uint64
+	seconds float64
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{
+		requests: make(map[routeCode]uint64),
+		latency:  make(map[string]*latencyAgg),
+	}
+}
+
+// observe records one completed request.
+func (m *metricsRegistry) observe(route string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[routeCode{route, code}]++
+	agg := m.latency[route]
+	if agg == nil {
+		agg = &latencyAgg{}
+		m.latency[route] = agg
+	}
+	agg.count++
+	agg.seconds += seconds
+}
+
+// promSnapshot carries the point-in-time gauges sampled at scrape.
+type promSnapshot struct {
+	uptimeSeconds float64
+	cache         renewal.CacheStats
+	deduped       uint64
+	jobs          map[string]int
+}
+
+// write renders the registry in Prometheus text exposition format, with
+// keys sorted so scrapes are deterministic.
+func (m *metricsRegistry) write(w http.ResponseWriter, snap promSnapshot) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	m.mu.Lock()
+	reqs := make([]routeCode, 0, len(m.requests))
+	for rc := range m.requests {
+		reqs = append(reqs, rc)
+	}
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].route != reqs[j].route {
+			return reqs[i].route < reqs[j].route
+		}
+		return reqs[i].code < reqs[j].code
+	})
+	routes := make([]string, 0, len(m.latency))
+	for r := range m.latency {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	var b strings.Builder
+	b.WriteString("# HELP yieldserver_http_requests_total Requests served, by route and status code.\n")
+	b.WriteString("# TYPE yieldserver_http_requests_total counter\n")
+	for _, rc := range reqs {
+		fmt.Fprintf(&b, "yieldserver_http_requests_total{route=%q,code=\"%d\"} %d\n",
+			rc.route, rc.code, m.requests[rc])
+	}
+	b.WriteString("# HELP yieldserver_http_request_duration_seconds Cumulative request latency, by route.\n")
+	b.WriteString("# TYPE yieldserver_http_request_duration_seconds summary\n")
+	for _, r := range routes {
+		agg := m.latency[r]
+		fmt.Fprintf(&b, "yieldserver_http_request_duration_seconds_sum{route=%q} %g\n", r, agg.seconds)
+		fmt.Fprintf(&b, "yieldserver_http_request_duration_seconds_count{route=%q} %d\n", r, agg.count)
+	}
+	m.mu.Unlock()
+
+	b.WriteString("# HELP yieldserver_sweep_cache_hits_total Sweep cache hits.\n")
+	b.WriteString("# TYPE yieldserver_sweep_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "yieldserver_sweep_cache_hits_total %d\n", snap.cache.Hits)
+	b.WriteString("# HELP yieldserver_sweep_cache_misses_total Sweep cache misses.\n")
+	b.WriteString("# TYPE yieldserver_sweep_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "yieldserver_sweep_cache_misses_total %d\n", snap.cache.Misses)
+	b.WriteString("# HELP yieldserver_sweep_cache_evictions_total Models evicted from the sweep cache.\n")
+	b.WriteString("# TYPE yieldserver_sweep_cache_evictions_total counter\n")
+	fmt.Fprintf(&b, "yieldserver_sweep_cache_evictions_total %d\n", snap.cache.Evictions)
+	b.WriteString("# HELP yieldserver_sweep_cache_entries Models currently cached.\n")
+	b.WriteString("# TYPE yieldserver_sweep_cache_entries gauge\n")
+	fmt.Fprintf(&b, "yieldserver_sweep_cache_entries %d\n", snap.cache.Entries)
+	b.WriteString("# HELP yieldserver_sweeps_total Renewal arrival sweeps computed.\n")
+	b.WriteString("# TYPE yieldserver_sweeps_total counter\n")
+	fmt.Fprintf(&b, "yieldserver_sweeps_total %d\n", snap.cache.Sweeps)
+	b.WriteString("# HELP yieldserver_deduped_requests_total Computations served by another caller's in-flight evaluation.\n")
+	b.WriteString("# TYPE yieldserver_deduped_requests_total counter\n")
+	fmt.Fprintf(&b, "yieldserver_deduped_requests_total %d\n", snap.deduped)
+
+	b.WriteString("# HELP yieldserver_jobs Jobs by state.\n")
+	b.WriteString("# TYPE yieldserver_jobs gauge\n")
+	states := make([]string, 0, len(snap.jobs))
+	for st := range snap.jobs {
+		states = append(states, st)
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(&b, "yieldserver_jobs{state=%q} %d\n", st, snap.jobs[st])
+	}
+
+	b.WriteString("# HELP yieldserver_uptime_seconds Seconds since the server started.\n")
+	b.WriteString("# TYPE yieldserver_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "yieldserver_uptime_seconds %g\n", snap.uptimeSeconds)
+
+	_, _ = io.WriteString(w, b.String())
+}
+
+// withMetrics records every request's route, status and latency.
+func (s *Server) withMetrics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := "unmatched"
+		if _, pattern := s.mux.Handler(r); pattern != "" {
+			// Strip the method from patterns like "GET /v1/pf".
+			if i := strings.IndexByte(pattern, ' '); i >= 0 {
+				route = pattern[i+1:]
+			} else {
+				route = pattern
+			}
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.metrics.observe(route, code, time.Since(start).Seconds())
+	})
+}
+
+// statusWriter captures the response status for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,19 +1,31 @@
-// Package server wraps the experiment Runner and the renewal sweep engine
-// in a long-lived HTTP/JSON service — the paper's "what is pF(W) / Wmin /
-// row yield under this growth scenario?" queries as cheap, repeatable
-// endpoints instead of one-shot CLI runs.
+// Package server wraps the query Session — the one evaluation path shared
+// with the yieldlab facade and the cnfetyield CLI — in a long-lived
+// HTTP/JSON service: the paper's "what is pF(W) / Wmin / row yield under
+// this growth scenario?" questions as cheap, repeatable endpoints instead
+// of one-shot CLI runs.
 //
 // Endpoints (all JSON):
 //
 //	GET  /healthz                 liveness
+//	GET  /metrics                 Prometheus-text service metrics
 //	GET  /v1/corners              the Fig. 2.1 processing corners
 //	GET  /v1/pf                   device failure probability pF(W)
 //	POST /v1/pf/batch             many (width, corner) points in one call
 //	GET  /v1/wmin                 chip-level minimum width (Eq. 2.5)
 //	GET  /v1/rowyield             row failure probability per scenario
+//	POST /v2/query                declarative QuerySpec: single or sweep,
+//	                              sync or job-backed (?async=1)
 //	POST /v1/experiments          submit an experiment job → job id
-//	GET  /v1/jobs/{id}            job status and results
+//	GET  /v1/jobs/{id}            job status and (partial) results
 //	GET  /v1/stats                cache hit rates, sweeps, jobs in flight
+//
+// Every /v1 evaluation endpoint is a thin translation onto a QuerySpec
+// (internal/query) evaluated by the shared Session, so /v1 answers are
+// byte-identical to their /v2/query counterparts and all endpoints share
+// one validation/evaluation/encoding path. Deterministic GETs carry an
+// ETag derived from the spec's canonical fingerprint and honor
+// If-None-Match with 304. Errors use one envelope:
+// {"error": {"code", "message"}} — including 404/405 on unknown paths.
 //
 // Request cost is dominated by cold renewal sweeps; three layers keep them
 // rare: renewal.SweepCache shares swept tables across corners and requests,
@@ -23,6 +35,8 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,16 +44,14 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"github.com/cnfet/yieldlab/internal/device"
 	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/query"
 	"github.com/cnfet/yieldlab/internal/renewal"
 	"github.com/cnfet/yieldlab/internal/rowyield"
 	"github.com/cnfet/yieldlab/internal/sweepstore"
-	"github.com/cnfet/yieldlab/internal/widthdist"
-	"github.com/cnfet/yieldlab/internal/yield"
 )
 
 // Defaults for Config zero values.
@@ -48,7 +60,7 @@ const (
 	DefaultMaxJobs        = 64
 	DefaultConcurrentJobs = 2
 	DefaultBatchLimit     = 4096
-	DefaultRowRounds      = 2_000
+	DefaultRowRounds      = query.DefaultRowRounds
 	DefaultMaxRowRounds   = 50_000
 )
 
@@ -66,28 +78,31 @@ type Config struct {
 	MaxJobs int
 	// ConcurrentJobs bounds jobs computing at once (0 = DefaultConcurrentJobs).
 	ConcurrentJobs int
-	// BatchLimit caps points per /v1/pf/batch request (0 = DefaultBatchLimit).
+	// BatchLimit caps points per /v1/pf/batch request and concrete specs per
+	// /v2/query sweep (0 = DefaultBatchLimit).
 	BatchLimit int
-	// MaxRowRounds caps Monte Carlo rounds a /v1/rowyield request may ask
-	// for (0 = DefaultMaxRowRounds).
+	// MaxRowRounds caps Monte Carlo rounds a rowyield request may ask for
+	// (0 = DefaultMaxRowRounds).
 	MaxRowRounds int
 }
 
 // Server is the HTTP yield service. Create with New, serve Handler, and
 // Close on shutdown to drain jobs and persist the sweep store.
 type Server struct {
-	cfg    Config
-	params experiments.Params
-	runner *experiments.Runner
-	cache  *renewal.SweepCache
-	flight flightGroup
-	jobs   *jobEngine
-	mux    *http.ServeMux
-	start  time.Time
-
-	persistMu       sync.Mutex
-	persistedSweeps uint64
-	persistErr      string // last persistence failure, surfaced in /v1/stats
+	cfg     Config
+	params  experiments.Params
+	session *query.Session
+	runner  *experiments.Runner
+	cache   *renewal.SweepCache
+	flight  flightGroup
+	jobs    *jobEngine
+	mux     *http.ServeMux
+	metrics *metricsRegistry
+	start   time.Time
+	// paramsTag fingerprints the server's parameter set; ETags combine it
+	// with each spec's canonical fingerprint so two servers with different
+	// grids or seeds can never validate each other's cached responses.
+	paramsTag string
 }
 
 // New builds a server, warming the sweep cache from cfg.Store when present.
@@ -113,70 +128,63 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxRowRounds == 0 {
 		cfg.MaxRowRounds = DefaultMaxRowRounds
 	}
+	session, err := query.NewSession(query.Options{
+		Params:       cfg.Params,
+		Store:        cfg.Store,
+		Workers:      cfg.Params.Workers,
+		MaxRowRounds: cfg.MaxRowRounds,
+		MaxSweep:     cfg.BatchLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		cfg:    cfg,
-		params: cfg.Params,
-		runner: experiments.New(cfg.Params),
-		start:  time.Now(),
+		cfg:       cfg,
+		params:    cfg.Params,
+		session:   session,
+		runner:    session.Runner(),
+		cache:     session.Cache(),
+		metrics:   newMetricsRegistry(),
+		start:     time.Now(),
+		paramsTag: paramsTag(cfg.Params),
 	}
-	s.cache = s.runner.SweepCache()
 	s.cache.SetMaxEntries(cfg.CacheEntries)
-	if cfg.Store != nil {
-		if _, err := sweepstore.WarmCache(cfg.Store, s.cache); err != nil {
-			return nil, fmt.Errorf("server: warming sweep cache: %w", err)
-		}
-		s.persistedSweeps = 0 // restored tables involved no sweeps
-	}
-	s.jobs = newJobEngine(cfg.MaxJobs, cfg.ConcurrentJobs, s.maybePersist)
+	s.jobs = newJobEngine(cfg.MaxJobs, cfg.ConcurrentJobs, s.session.Checkpoint)
 	s.routes()
 	return s, nil
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// paramsTag hashes the parameter set into a short response-identity prefix.
+func paramsTag(p experiments.Params) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", p)))
+	return hex.EncodeToString(sum[:6])
+}
+
+// Session exposes the server's shared query session.
+func (s *Server) Session() *query.Session { return s.session }
+
+// Handler returns the service's HTTP handler: the route mux wrapped in the
+// JSON 404/405 fallback and the metrics middleware.
+func (s *Server) Handler() http.Handler {
+	return s.withMetrics(s.withJSONFallback())
+}
 
 // Close drains running jobs and persists the sweep cache.
 func (s *Server) Close() error {
 	s.jobs.drain()
-	if s.cfg.Store == nil {
-		return nil
-	}
-	_, err := sweepstore.PersistCache(s.cfg.Store, s.cache)
-	return err
-}
-
-// maybePersist writes the sweep cache back to the store when new sweeps
-// have been computed since the last persist. Runs synchronously but off the
-// common path: callers invoke it after a response is already determined.
-func (s *Server) maybePersist() {
-	if s.cfg.Store == nil {
-		return
-	}
-	s.persistMu.Lock()
-	defer s.persistMu.Unlock()
-	sweeps := s.cache.Stats().Sweeps
-	if sweeps == s.persistedSweeps {
-		return
-	}
-	// A failure (disk full, permissions) must not fail the request that
-	// triggered it, but it must not vanish either: the last error is
-	// reported by /v1/stats until a later persist succeeds.
-	if _, err := sweepstore.PersistCache(s.cfg.Store, s.cache); err != nil {
-		s.persistErr = err.Error()
-		return
-	}
-	s.persistErr = ""
-	s.persistedSweeps = sweeps
+	return s.session.Close()
 }
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/corners", s.handleCorners)
 	s.mux.HandleFunc("GET /v1/pf", s.handlePF)
 	s.mux.HandleFunc("POST /v1/pf/batch", s.handlePFBatch)
 	s.mux.HandleFunc("GET /v1/wmin", s.handleWmin)
 	s.mux.HandleFunc("GET /v1/rowyield", s.handleRowYield)
+	s.mux.HandleFunc("POST /v2/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -195,7 +203,7 @@ type CornerJSON struct {
 }
 
 // cornerNames maps the API names onto the Fig. 2.1 corners, worst first.
-var cornerNames = []string{"worst", "mid", "best"}
+var cornerNames = query.CornerNames()
 
 func corners() []CornerJSON {
 	paper := device.PaperCorners()
@@ -212,37 +220,26 @@ func corners() []CornerJSON {
 	return out
 }
 
-// cornerParams resolves a corner name (or explicit pm/prs overrides) to
-// failure parameters.
-func cornerParams(name, pmStr, prsStr string) (device.FailureParams, string, error) {
-	if pmStr != "" || prsStr != "" {
-		if name != "" {
-			return device.FailureParams{}, "", errors.New("give either corner or pm/prs, not both")
-		}
-		pm, err := parseFloat("pm", pmStr)
-		if err != nil {
-			return device.FailureParams{}, "", err
-		}
-		prs, err := parseFloat("prs", prsStr)
-		if err != nil {
-			return device.FailureParams{}, "", err
-		}
-		p := device.FailureParams{PMetallic: pm, PRemoveSemi: prs, PRemoveMetallic: 1}
-		if err := p.Validate(); err != nil {
-			return device.FailureParams{}, "", err
-		}
-		return p, fmt.Sprintf("pm=%g,prs=%g", pm, prs), nil
+// cornerSpec fills the spec's corner fields from query-string values: a
+// named corner, or explicit pm/prs overrides.
+func cornerSpec(spec *query.Spec, name, pmStr, prsStr string) error {
+	if pmStr == "" && prsStr == "" {
+		spec.Corner = name
+		return nil
 	}
-	if name == "" {
-		name = "worst"
+	if name != "" {
+		return errors.New("give either corner or pm/prs, not both")
 	}
-	for i, c := range device.PaperCorners() {
-		if name == cornerNames[i] || name == c.Name {
-			return c.Params, cornerNames[i], nil
-		}
+	pm, err := parseFloat("pm", pmStr)
+	if err != nil {
+		return err
 	}
-	return device.FailureParams{}, "", fmt.Errorf("unknown corner %q (have %s, or give pm= and prs=)",
-		name, strings.Join(cornerNames, ", "))
+	prs, err := parseFloat("prs", prsStr)
+	if err != nil {
+		return err
+	}
+	spec.PM, spec.PRS = &pm, &prs
+	return nil
 }
 
 // deviceModel builds (or fetches) the shared failure model for a corner on
@@ -259,6 +256,58 @@ func (s *Server) deviceModel(p device.FailureParams) (*device.FailureModel, erro
 	return v.(*device.FailureModel), nil
 }
 
+// evaluate runs one concrete spec through the session, deduplicating
+// identical concurrent evaluations singleflight-style on the spec's
+// canonical fingerprint.
+func (s *Server) evaluate(r *http.Request, spec query.Spec) (query.Result, error) {
+	_, fp, err := spec.Canonical()
+	if err != nil {
+		return query.Result{}, err
+	}
+	v, err := s.flight.do(fp, func() (any, error) {
+		return s.session.Evaluate(r.Context(), spec)
+	})
+	if err != nil {
+		return query.Result{}, err
+	}
+	return v.(query.Result), nil
+}
+
+// --- caching headers -------------------------------------------------------
+
+// etagFor derives the response ETag of a canonical spec fingerprint.
+func (s *Server) etagFor(fp string) string {
+	return `"` + s.paramsTag + "-" + fp + `"`
+}
+
+// notModified reports whether the request's If-None-Match matches the ETag,
+// in which case a 304 has been written.
+func notModified(w http.ResponseWriter, r *http.Request, etag string) bool {
+	match := r.Header.Get("If-None-Match")
+	if match == "" {
+		return false
+	}
+	for _, candidate := range strings.Split(match, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == etag || candidate == "*" {
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return true
+		}
+	}
+	return false
+}
+
+// setCacheHeaders marks a deterministic response as cacheable. Every
+// computation behind these endpoints is a pure function of (params, spec) —
+// Monte Carlo estimates included, since their seeds are fixed — so
+// revalidation by ETag is sound.
+func setCacheHeaders(w http.ResponseWriter, etag string) {
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=86400")
+}
+
 // --- handlers --------------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -266,23 +315,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCorners(w http.ResponseWriter, r *http.Request) {
+	etag := s.etagFor("corners")
+	if notModified(w, r, etag) {
+		return
+	}
+	setCacheHeaders(w, etag)
 	writeJSON(w, http.StatusOK, map[string]any{"corners": corners()})
 }
 
-// PFJSON is one device failure probability evaluation.
-type PFJSON struct {
-	Corner  string  `json:"corner"`
-	WidthNM float64 `json:"width_nm"`
-	// PFCNT is the per-CNT failure probability pf (Eq. 2.1).
-	PFCNT float64 `json:"pf_cnt"`
-	// PF is the device failure probability pF(W) (Eq. 2.2).
-	PF float64 `json:"pf"`
-}
+// PFJSON is one device failure probability evaluation — the /v1 wire name
+// of the shared query result payload.
+type PFJSON = query.PFResult
 
 func (s *Server) handlePF(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	params, cornerName, err := cornerParams(q.Get("corner"), q.Get("pm"), q.Get("prs"))
-	if err != nil {
+	spec := query.Spec{Kind: query.KindPF}
+	if err := cornerSpec(&spec, q.Get("corner"), q.Get("pm"), q.Get("prs")); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -291,18 +339,25 @@ func (s *Server) handlePF(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	m, err := s.deviceModel(params)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	pf, err := m.FailureProb(width)
+	spec.WidthNM = width
+	spec.Node = q.Get("node")
+	_, fp, err := spec.Canonical()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	defer s.maybePersist()
-	writeJSON(w, http.StatusOK, PFJSON{Corner: cornerName, WidthNM: width, PFCNT: m.PerCNTFailure(), PF: pf})
+	etag := s.etagFor(fp)
+	if notModified(w, r, etag) {
+		return
+	}
+	res, err := s.evaluate(r, spec)
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
+	defer s.session.Checkpoint()
+	setCacheHeaders(w, etag)
+	writeJSON(w, http.StatusOK, res.PF)
 }
 
 // BatchPointJSON is one requested (corner, width) evaluation.
@@ -341,14 +396,13 @@ func (s *Server) handlePFBatch(w http.ResponseWriter, r *http.Request) {
 	groups := make(map[string]*group)
 	out := make([]PFJSON, len(req.Points))
 	for i, pt := range req.Points {
-		pmStr, prsStr := "", ""
-		if pt.PM != nil {
-			pmStr = strconv.FormatFloat(*pt.PM, 'g', -1, 64)
+		spec := query.Spec{Kind: query.KindPF, Corner: pt.Corner, PM: pt.PM, PRS: pt.PRS}
+		if pt.Corner != "" && (pt.PM != nil || pt.PRS != nil) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("point %d: give either corner or pm/prs, not both", i))
+			return
 		}
-		if pt.PRS != nil {
-			prsStr = strconv.FormatFloat(*pt.PRS, 'g', -1, 64)
-		}
-		params, cornerName, err := cornerParams(pt.Corner, pmStr, prsStr)
+		params, cornerName, err := spec.FailureParams()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("point %d: %w", i, err))
 			return
@@ -381,98 +435,66 @@ func (s *Server) handlePFBatch(w http.ResponseWriter, r *http.Request) {
 			out[idx] = PFJSON{Corner: g.name, WidthNM: g.widths[k], PFCNT: m.PerCNTFailure(), PF: pfs[k]}
 		}
 	}
-	defer s.maybePersist()
+	defer s.session.Checkpoint()
 	writeJSON(w, http.StatusOK, map[string]any{"results": out})
 }
 
-// WminJSON is one chip-level sizing solution.
-type WminJSON struct {
-	Corner       string  `json:"corner"`
-	M            float64 `json:"m"`
-	DesiredYield float64 `json:"desired_yield"`
-	RelaxFactor  float64 `json:"relax_factor"`
-	WminNM       float64 `json:"wmin_nm"`
-	DevicePF     float64 `json:"device_pf"`
-	MminShare    float64 `json:"mmin_share"`
-}
+// WminJSON is one chip-level sizing solution — the /v1 wire name of the
+// shared query result payload.
+type WminJSON = query.WminResult
 
 func (s *Server) handleWmin(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	params, cornerName, err := cornerParams(q.Get("corner"), q.Get("pm"), q.Get("prs"))
-	if err != nil {
+	spec := query.Spec{Kind: query.KindWmin}
+	if err := cornerSpec(&spec, q.Get("corner"), q.Get("pm"), q.Get("prs")); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	relax := 1.0
+	// Only explicitly given parameters enter the spec: the session resolves
+	// the defaults, so an unqualified /v1 request canonicalizes to the same
+	// fingerprint (and ETag) as its zero-valued /v2 spec.
+	var err error
 	if v := q.Get("relax"); v != "" {
-		if relax, err = parseFloat("relax", v); err != nil {
+		if spec.RelaxFactor, err = parseFloat("relax", v); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 	}
-	m := s.params.M
 	if v := q.Get("m"); v != "" {
-		if m, err = parseFloat("m", v); err != nil {
+		if spec.M, err = parseFloat("m", v); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 	}
-	desired := s.params.DesiredYield
 	if v := q.Get("yield"); v != "" {
-		if desired, err = parseFloat("yield", v); err != nil {
+		if spec.DesiredYield, err = parseFloat("yield", v); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 	}
-	key := fmt.Sprintf("wmin|%s|%x|%x|%x", cornerName,
-		math.Float64bits(relax), math.Float64bits(m), math.Float64bits(desired))
-	v, err := s.flight.do(key, func() (any, error) {
-		model, err := s.deviceModel(params)
-		if err != nil {
-			return nil, err
-		}
-		res, err := yield.SimplifiedWmin(&yield.Problem{
-			Model:        model,
-			Widths:       widthdist.OpenRISC45(),
-			M:            m,
-			DesiredYield: desired,
-			RelaxFactor:  relax,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return WminJSON{
-			Corner: cornerName, M: m, DesiredYield: desired, RelaxFactor: relax,
-			WminNM: res.Wmin, DevicePF: res.DevicePF, MminShare: res.MminShare,
-		}, nil
-	})
+	spec.Node = q.Get("node")
+	_, fp, err := spec.Canonical()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	defer s.maybePersist()
-	writeJSON(w, http.StatusOK, v)
+	etag := s.etagFor(fp)
+	if notModified(w, r, etag) {
+		return
+	}
+	res, err := s.evaluate(r, spec)
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
+	defer s.session.Checkpoint()
+	setCacheHeaders(w, etag)
+	writeJSON(w, http.StatusOK, res.Wmin)
 }
 
-// RowYieldJSON is one row-correlation scenario evaluation.
-type RowYieldJSON struct {
-	Corner   string  `json:"corner"`
-	Scenario string  `json:"scenario"`
-	WidthNM  float64 `json:"width_nm"`
-	// MRmin is Eq. 3.2: devices sharing one CNT span.
-	MRmin float64 `json:"mrmin"`
-	// DevicePF is the analytic pF(W) feeding the closed forms.
-	DevicePF float64 `json:"device_pf"`
-	// PRF is the row failure probability (analytic for the uncorrelated and
-	// aligned scenarios, Monte Carlo for unaligned).
-	PRF float64 `json:"prf"`
-	// StdErr and Rounds describe the Monte Carlo estimate (unaligned only).
-	StdErr float64 `json:"stderr,omitempty"`
-	Rounds int     `json:"rounds,omitempty"`
-	// KRows and ChipYield report Eq. 3.1 when krows was requested.
-	KRows     float64 `json:"krows,omitempty"`
-	ChipYield float64 `json:"chip_yield,omitempty"`
-}
+// RowYieldJSON is one row-correlation scenario evaluation — the /v1 wire
+// name of the shared query result payload.
+type RowYieldJSON = query.RowYieldResult
 
 var rowScenarios = map[string]rowyield.Scenario{
 	"uncorrelated": rowyield.UncorrelatedGrowth,
@@ -482,16 +504,15 @@ var rowScenarios = map[string]rowyield.Scenario{
 
 func (s *Server) handleRowYield(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	params, cornerName, err := cornerParams(q.Get("corner"), q.Get("pm"), q.Get("prs"))
-	if err != nil {
+	spec := query.Spec{Kind: query.KindRowYield}
+	if err := cornerSpec(&spec, q.Get("corner"), q.Get("pm"), q.Get("prs")); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	scenarioName := q.Get("scenario")
-	scenario, ok := rowScenarios[scenarioName]
-	if !ok {
+	spec.Scenario = q.Get("scenario")
+	if _, ok := rowScenarios[spec.Scenario]; !ok {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("unknown scenario %q (have uncorrelated, unaligned, aligned)", scenarioName))
+			fmt.Errorf("unknown scenario %q (have uncorrelated, unaligned, aligned)", spec.Scenario))
 		return
 	}
 	width, err := s.parseWidth(q.Get("width"))
@@ -499,16 +520,16 @@ func (s *Server) handleRowYield(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rounds := DefaultRowRounds
+	spec.WidthNM = width
 	if v := q.Get("rounds"); v != "" {
-		rounds, err = strconv.Atoi(v)
-		if err != nil || rounds < 2 {
+		spec.Rounds, err = strconv.Atoi(v)
+		if err != nil || spec.Rounds < 2 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("rounds %q must be an integer ≥ 2", v))
 			return
 		}
-		if rounds > s.cfg.MaxRowRounds {
+		if spec.Rounds > s.cfg.MaxRowRounds {
 			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("rounds %d exceeds limit %d", rounds, s.cfg.MaxRowRounds))
+				fmt.Errorf("rounds %d exceeds limit %d", spec.Rounds, s.cfg.MaxRowRounds))
 			return
 		}
 	}
@@ -519,55 +540,29 @@ func (s *Server) handleRowYield(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	spec.Node = q.Get("node")
 
-	// krows stays out of the flight key on purpose: it only scales the final
-	// closed form, so requests differing in krows alone still share one
-	// computation and the scaling is applied per caller below.
-	key := fmt.Sprintf("rowyield|%s|%s|%x|%d", cornerName, scenarioName, math.Float64bits(width), rounds)
-	v, err := s.flight.do(key, func() (any, error) {
-		model, err := s.deviceModel(params)
-		if err != nil {
-			return nil, err
-		}
-		devicePF, err := model.FailureProb(width)
-		if err != nil {
-			return nil, err
-		}
-		mrmin, err := rowyield.MRmin(s.params.LCNTUM*1000, s.params.PminPerUM)
-		if err != nil {
-			return nil, err
-		}
-		out := RowYieldJSON{
-			Corner: cornerName, Scenario: scenarioName, WidthNM: width,
-			MRmin: mrmin, DevicePF: devicePF,
-		}
-		switch scenario {
-		case rowyield.UncorrelatedGrowth:
-			out.PRF, err = rowyield.IndependentRowFailure(devicePF, mrmin)
-			if err != nil {
-				return nil, err
-			}
-		case rowyield.DirectionalAligned:
-			// Every CNFET in the row sees the same CNTs: pRF = pF exactly.
-			out.PRF = devicePF
-		case rowyield.DirectionalUnaligned:
-			rm, err := s.runner.RowModelAt(width, params)
-			if err != nil {
-				return nil, err
-			}
-			est, err := rm.EstimateRowFailureParallel(s.params.Seed, scenario, rounds, s.params.Workers)
-			if err != nil {
-				return nil, err
-			}
-			out.PRF, out.StdErr, out.Rounds = est.Mean, est.StdErr, est.Rounds
-		}
-		return out, nil
-	})
+	// The ETag covers the full request (krows included); the evaluation —
+	// and its singleflight key — leaves krows out on purpose: it only
+	// scales the final closed form, so requests differing in krows alone
+	// still share one computation and the scaling is applied per caller.
+	spec.KRows = krows
+	_, fullFP, err := spec.Canonical()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	out := v.(RowYieldJSON)
+	etag := s.etagFor(fullFP)
+	if notModified(w, r, etag) {
+		return
+	}
+	spec.KRows = 0
+	res, err := s.evaluate(r, spec)
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
+	out := *res.RowYield
 	if krows > 0 {
 		out.KRows = krows
 		if out.ChipYield, err = rowyield.CorrelatedYield(krows, out.PRF); err != nil {
@@ -575,9 +570,69 @@ func (s *Server) handleRowYield(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	defer s.maybePersist()
+	defer s.session.Checkpoint()
+	setCacheHeaders(w, etag)
 	writeJSON(w, http.StatusOK, out)
 }
+
+// --- /v2/query -------------------------------------------------------------
+
+// QueryResponseJSON is the /v2/query sync response: the canonical sweep
+// fingerprint and one result per concrete spec, in expansion order.
+type QueryResponseJSON struct {
+	Fingerprint string         `json:"fingerprint"`
+	Count       int            `json:"count"`
+	Results     []query.Result `json:"results"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var spec query.Spec
+	if err := decodeBody(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	canon, fp, err := spec.Canonical()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if n := canon.ExpandCount(); n > s.cfg.BatchLimit {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("sweep of %d specs exceeds limit %d", n, s.cfg.BatchLimit))
+		return
+	}
+
+	if isAsync(r) {
+		job, err := s.jobs.submitQuery(s.session, canon, fp)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusAccepted, job)
+		return
+	}
+
+	results, err := s.session.EvaluateAll(r.Context(), canon)
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
+	defer s.session.Checkpoint()
+	w.Header().Set("ETag", s.etagFor(fp))
+	writeJSON(w, http.StatusOK, QueryResponseJSON{Fingerprint: fp, Count: len(results), Results: results})
+}
+
+// isAsync reports whether the request asked for job-backed execution.
+func isAsync(r *http.Request) bool {
+	switch strings.ToLower(r.URL.Query().Get("async")) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// --- experiment jobs -------------------------------------------------------
 
 // ExperimentRequestJSON submits a job.
 type ExperimentRequestJSON struct {
@@ -661,6 +716,8 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job)
 }
 
+// --- stats and metrics -----------------------------------------------------
+
 // StatsJSON is the /v1/stats payload.
 type StatsJSON struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -698,17 +755,72 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.SweepCache.Sweeps = cs.Sweeps
 	out.DedupedRequests = s.flight.sharedCount()
 	out.Jobs = s.jobs.counts()
-	if s.cfg.Store != nil {
-		st := s.cfg.Store.Stats()
-		s.persistMu.Lock()
-		lastErr := s.persistErr
-		s.persistMu.Unlock()
+	if store := s.session.Store(); store != nil {
+		st := store.Stats()
 		out.Store = &StoreStatsJSON{
-			Dir: s.cfg.Store.Dir(), Saves: st.Saves, Loads: st.Loads, Rejects: st.Rejects,
-			LastPersistError: lastErr,
+			Dir: store.Dir(), Saves: st.Saves, Loads: st.Loads, Rejects: st.Rejects,
+			LastPersistError: s.session.LastPersistError(),
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	s.metrics.write(w, promSnapshot{
+		uptimeSeconds: time.Since(s.start).Seconds(),
+		cache:         cs,
+		deduped:       s.flight.sharedCount(),
+		jobs:          s.jobs.counts(),
+	})
+}
+
+// --- middleware ------------------------------------------------------------
+
+// withJSONFallback answers requests no route matches with the JSON error
+// envelope instead of the mux's plain-text defaults: 405 (with the Allow
+// header preserved) when the path exists under another method, 404
+// otherwise.
+func (s *Server) withJSONFallback() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := s.mux.Handler(r); pattern != "" {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		// Replay against a recorder to learn whether the mux default is a
+		// 404 or a 405, without letting its plain-text body escape.
+		rec := &headerRecorder{header: make(http.Header)}
+		s.mux.ServeHTTP(rec, r)
+		switch rec.status {
+		case http.StatusMethodNotAllowed:
+			if allow := rec.header.Get("Allow"); allow != "" {
+				w.Header().Set("Allow", allow)
+			}
+			writeError(w, http.StatusMethodNotAllowed,
+				fmt.Errorf("method %s not allowed for %s", r.Method, r.URL.Path))
+		default:
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown path %s", r.URL.Path))
+		}
+	})
+}
+
+// headerRecorder captures a handler's status and headers, discarding the body.
+type headerRecorder struct {
+	header http.Header
+	status int
+}
+
+func (rec *headerRecorder) Header() http.Header { return rec.header }
+func (rec *headerRecorder) WriteHeader(code int) {
+	if rec.status == 0 {
+		rec.status = code
+	}
+}
+func (rec *headerRecorder) Write(b []byte) (int, error) {
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+	return len(b), nil
 }
 
 // --- helpers ---------------------------------------------------------------
@@ -753,6 +865,45 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// ErrorJSON is the error envelope of every endpoint:
+// {"error": {"code": "...", "message": "..."}}.
+type ErrorJSON struct {
+	Error ErrorBodyJSON `json:"error"`
+}
+
+// ErrorBodyJSON carries one error.
+type ErrorBodyJSON struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorCode maps an HTTP status onto the envelope's stable machine code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, ErrorJSON{Error: ErrorBodyJSON{Code: errorCode(status), Message: err.Error()}})
+}
+
+// writeEvalError classifies a session evaluation failure: caller mistakes
+// (invalid or out-of-bounds specs) are 400s, everything else — sweep or
+// model failures the client did nothing to cause — is a 500.
+func writeEvalError(w http.ResponseWriter, err error) {
+	if query.IsRequestError(err) {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
 }

@@ -143,11 +143,11 @@ func TestPFValidation(t *testing.T) {
 		"width=100&corner=worst&pm=0.3&prs=0.1", // both corner and pm/prs
 		"width=100&pm=2&prs=0",                  // pm out of [0,1]
 	} {
-		var out map[string]string
+		var out ErrorJSON
 		if code := getJSON(t, ts.URL+"/v1/pf?"+q, &out); code != http.StatusBadRequest {
 			t.Errorf("query %q: status %d, want 400", q, code)
-		} else if out["error"] == "" {
-			t.Errorf("query %q: missing error message", q)
+		} else if out.Error.Message == "" || out.Error.Code != "bad_request" {
+			t.Errorf("query %q: bad error envelope %+v", q, out)
 		}
 	}
 }
@@ -215,12 +215,12 @@ func TestBatchLimit(t *testing.T) {
 	req := map[string]any{"points": []map[string]any{
 		{"width_nm": 10.0}, {"width_nm": 11.0}, {"width_nm": 12.0},
 	}}
-	var out map[string]string
+	var out ErrorJSON
 	if code := postJSON(t, ts.URL+"/v1/pf/batch", req, &out); code != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", code)
 	}
-	if !strings.Contains(out["error"], "limit") {
-		t.Fatalf("error = %q", out["error"])
+	if !strings.Contains(out.Error.Message, "limit") {
+		t.Fatalf("error = %q", out.Error.Message)
 	}
 }
 
@@ -338,13 +338,13 @@ func TestJobLifecycle(t *testing.T) {
 
 func TestJobValidation(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var out map[string]string
+	var out ErrorJSON
 	req := ExperimentRequestJSON{Experiments: []string{"tabel1"}}
 	if code := postJSON(t, ts.URL+"/v1/experiments", req, &out); code != http.StatusBadRequest {
 		t.Fatalf("typo: status %d", code)
 	}
-	if !strings.Contains(out["error"], `did you mean "table1"`) {
-		t.Fatalf("error = %q, want did-you-mean hint", out["error"])
+	if !strings.Contains(out.Error.Message, `did you mean "table1"`) {
+		t.Fatalf("error = %q, want did-you-mean hint", out.Error.Message)
 	}
 	if code := postJSON(t, ts.URL+"/v1/experiments", ExperimentRequestJSON{}, nil); code != http.StatusBadRequest {
 		t.Fatalf("empty: status %d", code)
@@ -364,7 +364,7 @@ func TestJobAdmissionBound(t *testing.T) {
 		ExperimentRequestJSON{Experiments: []string{"table1"}}, &first); code != http.StatusAccepted {
 		t.Fatalf("first submit: status %d", code)
 	}
-	var out map[string]string
+	var out ErrorJSON
 	code := postJSON(t, ts.URL+"/v1/experiments",
 		ExperimentRequestJSON{Experiments: []string{"fig2.2a"}}, &out)
 	var poll JobJSON
@@ -375,8 +375,8 @@ func TestJobAdmissionBound(t *testing.T) {
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("second submit: status %d, want 503", code)
 	}
-	if !strings.Contains(out["error"], "full") {
-		t.Fatalf("error = %q", out["error"])
+	if !strings.Contains(out.Error.Message, "full") {
+		t.Fatalf("error = %q", out.Error.Message)
 	}
 }
 

@@ -15,13 +15,31 @@
 //     including the library transformation and its area cost;
 //   - experiment runners regenerating every table and figure of the paper.
 //
-// Quick start:
+// Quick start — the declarative QuerySpec/Session API, shared verbatim by
+// the cnfetyield CLI (-spec) and the yieldserver /v2/query endpoint:
+//
+//	session, _ := yieldlab.NewSession(yieldlab.SessionOptions{})
+//	res, _ := session.Evaluate(ctx, yieldlab.QuerySpec{Kind: "pf", WidthNM: 155})
+//	fmt.Println(res.PF.PF)                         // ≈ 3e-9, Fig. 2.1 anchor
+//
+// A single spec with sweep axes expands into a whole design-space study:
+//
+//	sweep := yieldlab.QuerySpec{
+//		Kind:  "wmin",
+//		Sweep: &yieldlab.QuerySweep{
+//			Corners: []string{"worst", "mid"},
+//			Nodes:   []string{"45nm", "22nm"},
+//			Yields:  []float64{0.90, 0.99},
+//		},
+//	}
+//	results, _ := session.EvaluateAll(ctx, sweep)  // 8 concrete specs
+//
+// The lower-level constructors below remain for direct model access:
 //
 //	model, _ := yieldlab.NewDeviceModel(yieldlab.WorstCorner())
-//	pf155, _ := model.FailureProb(155)             // ≈ 3e-9, Fig. 2.1 anchor
+//	pf155, _ := model.FailureProb(155)
 //	runner := yieldlab.NewRunner(yieldlab.DefaultParams())
 //	res, _ := runner.Run("table1")                 // regenerate Table 1
-//	fmt.Println(res.Text())
 //
 // The sub-experiments, calibration constants and deviations from the paper
 // are documented in DESIGN.md and EXPERIMENTS.md.
@@ -37,6 +55,7 @@ import (
 	"github.com/cnfet/yieldlab/internal/dist"
 	"github.com/cnfet/yieldlab/internal/experiments"
 	"github.com/cnfet/yieldlab/internal/noisemargin"
+	"github.com/cnfet/yieldlab/internal/query"
 	"github.com/cnfet/yieldlab/internal/renewal"
 	"github.com/cnfet/yieldlab/internal/rowyield"
 	"github.com/cnfet/yieldlab/internal/server"
@@ -44,6 +63,38 @@ import (
 	"github.com/cnfet/yieldlab/internal/widthdist"
 	"github.com/cnfet/yieldlab/internal/yield"
 )
+
+// Declarative query API: one serializable spec language and one stateful
+// session shared by this facade, the cnfetyield CLI and the yieldserver
+// HTTP service. New code should prefer these over the loose constructors
+// below — a QuerySpec round-trips through JSON, canonicalizes to a stable
+// fingerprint (the cache/ETag identity), and expands sweep axes into a
+// deterministic cartesian product of concrete queries.
+type (
+	// QuerySpec is a declarative yield query: kind pf | wmin | rowyield |
+	// noise | experiment, plus coordinates and optional sweep axes.
+	QuerySpec = query.Spec
+	// QuerySweep declares the cartesian sweep axes of a QuerySpec.
+	QuerySweep = query.Sweep
+	// QueryResult is one evaluated spec with its kind-specific payload.
+	QueryResult = query.Result
+	// Session owns the shared sweep cache, the optional persistent sweep
+	// store and a bounded worker pool, and evaluates QuerySpecs.
+	Session = query.Session
+	// SessionOptions configures NewSession; the zero value is usable.
+	SessionOptions = query.Options
+)
+
+// NewSession builds the stateful evaluator behind the query API, warming
+// its sweep cache from SessionOptions.Store when one is given.
+func NewSession(opts SessionOptions) (*Session, error) { return query.NewSession(opts) }
+
+// ParseQuerySpec strictly decodes and validates a JSON QuerySpec — the
+// format accepted by `cnfetyield -spec` and POST /v2/query.
+func ParseQuerySpec(data []byte) (QuerySpec, error) { return query.Parse(data) }
+
+// QueryKinds lists the spec kinds.
+func QueryKinds() []string { return query.Kinds() }
 
 // Device-level modeling (paper Section 2.1).
 type (
@@ -67,6 +118,9 @@ func PaperCorners() []Corner { return device.PaperCorners() }
 
 // NewDeviceModel builds the calibrated device failure model (truncated-
 // normal pitch, mean 4 nm) for the given processing corner.
+//
+// Prefer Session.Evaluate with a "pf"-kind QuerySpec for one-off pF
+// queries: it shares swept tables across corners automatically.
 func NewDeviceModel(p FailureParams) (*DeviceModel, error) {
 	return device.NewCalibratedModel(p)
 }
@@ -174,6 +228,9 @@ type (
 func OpenRISCWidths() *WidthDistribution { return widthdist.OpenRISC45() }
 
 // SimplifiedWmin solves Eq. 2.5 (charge all yield loss to minimum devices).
+//
+// Prefer Session.Evaluate with a "wmin"-kind QuerySpec unless the sizing
+// problem needs a custom width distribution.
 func SimplifiedWmin(p *SizingProblem) (SizingResult, error) { return yield.SimplifiedWmin(p) }
 
 // ExactWmin solves Eq. 2.4 by bisection over the threshold.

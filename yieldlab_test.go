@@ -1,12 +1,53 @@
 package yieldlab_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
 
 	"github.com/cnfet/yieldlab"
 )
+
+// TestFacadeQuerySession exercises the declarative QuerySpec/Session API
+// end to end through the public facade: parse a JSON sweep spec, evaluate
+// it, and check the numbers agree with the direct model constructors.
+func TestFacadeQuerySession(t *testing.T) {
+	params := yieldlab.DefaultParams()
+	params.GridStepNM = 0.1
+	params.MaxWidthNM = 200
+	session, err := yieldlab.NewSession(yieldlab.SessionOptions{Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := yieldlab.ParseQuerySpec([]byte(
+		`{"kind": "pf", "width_nm": 155, "sweep": {"corners": ["worst", "best"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := session.EvaluateAll(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	model, err := yieldlab.NewSharedDeviceModelWithRange(session.Cache(),
+		yieldlab.WorstCorner(), params.GridStepNM, params.MaxWidthNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := model.FailureProb(155)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].PF.PF != want {
+		t.Fatalf("session pF %g != model pF %g", results[0].PF.PF, want)
+	}
+	if results[0].Fingerprint == results[1].Fingerprint {
+		t.Fatal("distinct corners share a fingerprint")
+	}
+}
 
 func TestFacadeDeviceModel(t *testing.T) {
 	m, err := yieldlab.NewDeviceModel(yieldlab.WorstCorner())
