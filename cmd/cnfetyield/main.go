@@ -25,6 +25,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/cnfet/yieldlab"
@@ -47,6 +49,8 @@ func run() error {
 		rounds    = flag.Int("rounds", 0, "Table 1 Monte Carlo rounds (0 = default 200000)")
 		instances = flag.Int("instances", 0, "synthetic netlist instances (0 = default 20000)")
 		workers   = flag.Int("workers", 0, "Monte Carlo workers (0 = NumCPU)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -56,6 +60,12 @@ func run() error {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	params := yieldlab.DefaultParams()
 	if *seed != 0 {
@@ -163,6 +173,50 @@ func runSpec(path, storeDir string, params yieldlab.Params) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// startProfiles begins CPU profiling and/or arms a heap snapshot, so the
+// Monte Carlo and sweep hot paths can be measured in situ:
+//
+//	cnfetyield -cpuprofile cpu.out -memprofile mem.out table1
+//	go tool pprof cpu.out
+//
+// The returned stop function flushes both profiles; failures to write them
+// are reported on stderr rather than masking the experiment's own error.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cnfetyield: closing CPU profile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cnfetyield: heap profile:", err)
+				return
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cnfetyield: writing heap profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cnfetyield: closing heap profile:", err)
+			}
+		}
+	}, nil
 }
 
 func writeArtifacts(dir string, res *yieldlab.Result) error {

@@ -12,6 +12,9 @@
 // With -store DIR the server persists swept renewal tables: a restart (or a
 // second process on the same directory) answers its first pF query from the
 // stored tables without recomputing any sweep.
+//
+// With -pprof the net/http/pprof endpoints are mounted at /debug/pprof on
+// the service port, so hot paths can be profiled in situ.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +53,7 @@ func run() error {
 		instances = flag.Int("instances", 0, "synthetic netlist instances (0 = default 20000)")
 		workers   = flag.Int("workers", 0, "worker goroutines for jobs and Monte Carlo (0 = NumCPU)")
 		calibrate = flag.Bool("calibrate", true, "measure the FFT/direct convolution crossover at startup")
+		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof profiling endpoints")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -90,9 +95,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Profiling rides on the service port so a single deployment knob
+		// makes the Monte Carlo and sweep hot paths measurable in situ
+		// (go tool pprof http://host/debug/pprof/profile). Off by default:
+		// profiles expose internals, so production opts in deliberately.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof endpoints enabled at /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -160,6 +160,12 @@ type Runner struct {
 	placement  *place.Placement
 	density45  float64
 	solveCache map[float64]float64
+	// rowModels caches prepared Monte Carlo row models by (width, corner,
+	// pitch law). Preparation builds sampler and pf-power tables and
+	// re-measures the library offset distribution; a scenario sweep asks
+	// for the same model once per scenario and a server asks once per
+	// request, so sharing the immutable prepared model pays everywhere.
+	rowModels map[string]*rowyield.RowModel
 }
 
 // New creates a runner; the parameters are validated on first use.
@@ -178,6 +184,7 @@ func NewWithCache(p Params, sweeps *renewal.SweepCache) *Runner {
 		params:     p,
 		sweeps:     sweeps,
 		solveCache: make(map[float64]float64),
+		rowModels:  make(map[string]*rowyield.RowModel),
 	}
 }
 
@@ -492,12 +499,35 @@ func (r *Runner) RowModelAt(width float64, corner device.FailureParams) (*rowyie
 // RowModelAtPitch is RowModelAt over an explicit inter-CNT pitch law (nil =
 // the calibrated truncated normal), so pitch-axis design-space sweeps reach
 // the row Monte Carlo too.
+//
+// Prepared models are cached by (width, corner, pitch law): a prepared
+// RowModel is immutable and safe to share, so a Table 1 scenario sweep, the
+// server's repeated /v1/rowyield answers and /v2 design-space sweeps all
+// reuse one set of sampler, alias and pf-power tables per distinct
+// operating point. Laws without a fingerprint bypass the cache.
 func (r *Runner) RowModelAtPitch(width float64, corner device.FailureParams, pitch dist.Continuous) (*rowyield.RowModel, error) {
 	if err := r.params.Validate(); err != nil {
 		return nil, err
 	}
 	if err := corner.Validate(); err != nil {
 		return nil, err
+	}
+	if pitch == nil {
+		calibrated, err := device.CalibratedPitch()
+		if err != nil {
+			return nil, err
+		}
+		pitch = calibrated
+	}
+	key := ""
+	if fp, ok := dist.Fingerprint(pitch); ok {
+		key = fmt.Sprintf("%x|%x|%x|%x|%s", width, corner.PMetallic, corner.PRemoveSemi, corner.PRemoveMetallic, fp)
+		r.mu.Lock()
+		rm, hit := r.rowModels[key]
+		r.mu.Unlock()
+		if hit {
+			return rm, nil
+		}
 	}
 	lib45, _, err := r.libraries()
 	if err != nil {
@@ -513,13 +543,6 @@ func (r *Runner) RowModelAtPitch(width float64, corner device.FailureParams, pit
 	if err != nil {
 		return nil, err
 	}
-	if pitch == nil {
-		calibrated, err := device.CalibratedPitch()
-		if err != nil {
-			return nil, err
-		}
-		pitch = calibrated
-	}
 	rm := &rowyield.RowModel{
 		Pitch:         pitch,
 		PerCNTFailure: corner.PerCNTFailure(),
@@ -531,8 +554,26 @@ func (r *Runner) RowModelAtPitch(width float64, corner device.FailureParams, pit
 	if err := rm.Prepare(); err != nil {
 		return nil, err
 	}
+	if key != "" {
+		r.mu.Lock()
+		if prior, raced := r.rowModels[key]; raced {
+			rm = prior
+		} else {
+			if len(r.rowModels) >= rowModelCacheMax {
+				// Width sweeps produce unbounded distinct keys; dropping
+				// the whole small map is cheaper than LRU bookkeeping.
+				clear(r.rowModels)
+			}
+			r.rowModels[key] = rm
+		}
+		r.mu.Unlock()
+	}
 	return rm, nil
 }
+
+// rowModelCacheMax bounds the prepared row-model cache; past it the cache
+// resets (each entry holds a few small tables, so the bound is generous).
+const rowModelCacheMax = 256
 
 // mrminPaper returns the paper-parameter MRmin = LCNT × Pmin (≈ 360).
 func (r *Runner) mrminPaper() (float64, error) {

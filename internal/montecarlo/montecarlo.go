@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/cnfet/yieldlab/internal/rng"
 	"github.com/cnfet/yieldlab/internal/stat"
@@ -48,6 +49,25 @@ func Run(rounds int, f RoundFunc, opt Options) (Estimate, error) {
 	if f == nil {
 		return Estimate{}, errors.New("montecarlo: nil round function")
 	}
+	return RunState(rounds, nil, func(r *rand.Rand, _ struct{}) (float64, error) {
+		return f(r)
+	}, opt)
+}
+
+// RunState is Run for round functions that need scratch: every worker
+// goroutine calls newState once and passes its state to each of its rounds,
+// so a round can reuse buffers across realizations without locking or
+// per-round allocation. newState may be nil when S's zero value is ready to
+// use.
+//
+// The state must be pure scratch: batches migrate between workers from run
+// to run, so any state influence on the returned values would break the
+// reproducibility guarantee. As with Run, per-batch accumulators merge in
+// batch order, keeping the estimate bit-identical across worker counts.
+func RunState[S any](rounds int, newState func() S, f func(r *rand.Rand, state S) (float64, error), opt Options) (Estimate, error) {
+	if f == nil {
+		return Estimate{}, errors.New("montecarlo: nil round function")
+	}
 	if rounds < 2 {
 		return Estimate{}, fmt.Errorf("montecarlo: need ≥ 2 rounds, got %d", rounds)
 	}
@@ -68,11 +88,17 @@ func Run(rounds int, f RoundFunc, opt Options) (Estimate, error) {
 	if workers > nBatches {
 		workers = nBatches
 	}
+	// The batch queue is a single atomic counter: claiming work is one
+	// uncontended fetch-add instead of a mutex round-trip, which stops the
+	// queue from serializing short batches at high worker counts. The
+	// failed flag keeps first-error semantics: after any error, no new
+	// batch starts and the earliest-recorded error is returned.
 	var (
 		wg      sync.WaitGroup
-		mu      sync.Mutex
+		nextIdx atomic.Int64
+		failed  atomic.Bool
+		errMu   sync.Mutex
 		firstEr error
-		nextIdx int
 	)
 	// Per-batch accumulators, merged in batch order after the pool drains:
 	// floating-point merges are not associative, so merging in completion
@@ -82,16 +108,18 @@ func Run(rounds int, f RoundFunc, opt Options) (Estimate, error) {
 	accs := make([]stat.Welford, nBatches)
 	work := func() {
 		defer wg.Done()
+		var state S
+		if newState != nil {
+			state = newState()
+		}
 		for {
-			mu.Lock()
-			if firstEr != nil || nextIdx >= nBatches {
-				mu.Unlock()
-				break
+			if failed.Load() {
+				return
 			}
-			b := nextIdx
-			nextIdx++
-			mu.Unlock()
-
+			b := int(nextIdx.Add(1) - 1)
+			if b >= nBatches {
+				return
+			}
 			r := rng.Derive(seed, uint64(b))
 			lo := b * batch
 			hi := lo + batch
@@ -100,13 +128,14 @@ func Run(rounds int, f RoundFunc, opt Options) (Estimate, error) {
 			}
 			var local stat.Welford
 			for i := lo; i < hi; i++ {
-				v, err := f(r)
+				v, err := f(r, state)
 				if err != nil {
-					mu.Lock()
+					errMu.Lock()
 					if firstEr == nil {
 						firstEr = err
 					}
-					mu.Unlock()
+					errMu.Unlock()
+					failed.Store(true)
 					return
 				}
 				local.Add(v)
@@ -119,7 +148,9 @@ func Run(rounds int, f RoundFunc, opt Options) (Estimate, error) {
 		go work()
 	}
 	wg.Wait()
-	if firstEr != nil {
+	if failed.Load() {
+		errMu.Lock()
+		defer errMu.Unlock()
 		return Estimate{}, firstEr
 	}
 	var merged stat.Welford

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 )
 
@@ -71,6 +72,88 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(1, func(r *rand.Rand) (float64, error) { return 0, nil }, Options{}); err == nil {
 		t.Error("too few rounds")
+	}
+}
+
+// RunState must create exactly one state per worker goroutine and reuse it
+// across that worker's batches.
+func TestRunStatePerWorkerScratch(t *testing.T) {
+	type scratch struct{ rounds int }
+	var created atomic.Int64
+	newState := func() *scratch {
+		created.Add(1)
+		return &scratch{}
+	}
+	const rounds, workers = 10_000, 4
+	est, err := RunState(rounds, newState, func(r *rand.Rand, s *scratch) (float64, error) {
+		s.rounds++
+		return r.Float64(), nil
+	}, Options{Seed: 3, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rounds != rounds {
+		t.Fatalf("rounds: %d", est.Rounds)
+	}
+	if n := created.Load(); n < 1 || n > workers {
+		t.Fatalf("states created: %d, want 1..%d", n, workers)
+	}
+}
+
+// The per-worker state must not change the estimate: stateful and stateless
+// runs over the same seed are bit-identical, at any worker count.
+func TestRunStateBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	f := func(r *rand.Rand, buf []float64) (float64, error) {
+		for i := range buf {
+			buf[i] = r.NormFloat64()
+		}
+		return (buf[0] + buf[1] + buf[2]) / 3, nil
+	}
+	newState := func() []float64 { return make([]float64, 3) }
+	base, err := RunState(9_999, newState, f, Options{Seed: 77, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 32} {
+		got, err := RunState(9_999, newState, f, Options{Seed: 77, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Mean != base.Mean || got.StdErr != base.StdErr {
+			t.Fatalf("workers=%d changed the estimate: %v vs %v", workers, got, base)
+		}
+	}
+}
+
+// A nil factory means the zero value of S is the state.
+func TestRunStateNilFactory(t *testing.T) {
+	est, err := RunState(100, nil, func(r *rand.Rand, _ struct{}) (float64, error) {
+		return 1, nil
+	}, Options{Seed: 1})
+	if err != nil || est.Mean != 1 {
+		t.Fatalf("est %v err %v", est, err)
+	}
+}
+
+func TestRunStatePropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := RunState(100_000, nil, func(r *rand.Rand, _ struct{}) (float64, error) {
+		if calls.Add(1) > 50 {
+			return 0, boom
+		}
+		return 1, nil
+	}, Options{Seed: 1, Workers: 8})
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected boom, got %v", err)
+	}
+	// After the error no worker should run the whole budget: the atomic
+	// failed flag stops batch claims.
+	if n := calls.Load(); n >= 100_000 {
+		t.Fatalf("error did not stop the run: %d rounds", n)
+	}
+	if _, err := RunState[struct{}](100, nil, nil, Options{}); err == nil {
+		t.Error("nil round function")
 	}
 }
 

@@ -1,0 +1,84 @@
+package rowyield
+
+import (
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/device"
+	"github.com/cnfet/yieldlab/internal/rng"
+)
+
+// benchModel is the Table 1-class row model the MC benchmarks run on: the
+// calibrated pitch law, worst-corner pf, the paper's 200 µm rows (360 FETs)
+// and a 14-position offset spread comparable to the measured 45 nm library.
+func benchModel(b *testing.B) *RowModel {
+	b.Helper()
+	pitch, err := device.CalibratedPitch()
+	if err != nil {
+		b.Fatal(err)
+	}
+	offs := make([]float64, 14)
+	probs := make([]float64, 14)
+	for i := range offs {
+		offs[i], probs[i] = float64(i)*20, 1
+	}
+	od, err := NewOffsetDist(offs, probs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := &RowModel{
+		Pitch:         pitch,
+		PerCNTFailure: 0.531,
+		WidthNM:       142.7,
+		LCNTNM:        200_000,
+		DensityPerUM:  1.8,
+		Offsets:       od,
+	}
+	if err := m.Prepare(); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkRowYieldMC measures one steady-state Monte Carlo round per
+// scenario at the default Table 1 grid — the inner-loop cost behind
+// /v1/rowyield, /v2/query row sweeps and `cnfetyield table1`. Registered in
+// BENCH_BASELINE.json and gated in CI.
+func BenchmarkRowYieldMC(b *testing.B) {
+	m := benchModel(b)
+	for _, tc := range []struct {
+		name string
+		s    Scenario
+	}{
+		{"uncorrelated", UncorrelatedGrowth},
+		{"aligned", DirectionalAligned},
+		{"unaligned", DirectionalUnaligned},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			st := m.NewRoundState()
+			r := rng.New(3)
+			if _, err := m.Round(r, tc.s, st); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Round(r, tc.s, st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRowYieldMCParallel measures the full parallel estimator over a
+// fixed round budget: engine coordination (atomic batch queue, per-worker
+// state) plus the rounds themselves.
+func BenchmarkRowYieldMCParallel(b *testing.B) {
+	m := benchModel(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.EstimateRowFailureParallel(7, DirectionalUnaligned, 512, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -104,85 +104,78 @@ func (iv Interval) Len() int {
 // is fully failed, when each of nTracks tracks fails independently with
 // probability pf. This is the conditional row-failure probability given a
 // track realization; Monte Carlo over realizations then averages it.
+//
+// The computation is a run-length dynamic program over the reusable
+// RoundState scratch (see state.go); this wrapper pays for a fresh state per
+// call, the Monte Carlo rounds amortize one across all their realizations.
 func ExactRowFailure(intervals []Interval, nTracks int, pf float64) (float64, error) {
-	if pf < 0 || pf > 1 || math.IsNaN(pf) {
-		return 0, fmt.Errorf("rowyield: pf %g out of [0,1]", pf)
-	}
-	if nTracks < 0 {
-		return 0, fmt.Errorf("rowyield: nTracks %d negative", nTracks)
-	}
-	maxLen := 0
-	// minLenEnding[t] = length of the shortest interval ending exactly at t
-	// (0 = none). The shortest is binding: a failure run of that length
-	// kills the row.
-	minLenEnding := make(map[int]int)
-	for _, iv := range intervals {
-		if iv.Empty() {
-			// A CNFET with no tracks fails with certainty.
-			return 1, nil
-		}
-		if iv.Lo < 0 || iv.Hi >= nTracks {
-			return 0, fmt.Errorf("rowyield: interval [%d,%d] outside track range [0,%d)", iv.Lo, iv.Hi, nTracks)
-		}
-		l := iv.Len()
-		if l > maxLen {
-			maxLen = l
-		}
-		if cur, ok := minLenEnding[iv.Hi]; !ok || l < cur {
-			minLenEnding[iv.Hi] = l
-		}
-	}
-	if len(intervals) == 0 {
-		return 0, nil
-	}
-	// state[r] = P(current consecutive-failure run length = r, no interval
-	// fully failed so far); runs saturate at maxLen (any binding threshold
-	// is ≤ maxLen, so saturation never hides a violation).
-	state := make([]float64, maxLen+1)
-	next := make([]float64, maxLen+1)
-	state[0] = 1
-	alive := 1.0
-	for t := 0; t < nTracks; t++ {
-		for r := range next {
-			next[r] = 0
-		}
-		for r, p := range state {
-			if p == 0 {
-				continue
-			}
-			next[0] += p * (1 - pf)
-			rr := r + 1
-			if rr > maxLen {
-				rr = maxLen
-			}
-			next[rr] += p * pf
-		}
-		if need, ok := minLenEnding[t]; ok {
-			// Any run ≥ need that ends at t completes an interval: that
-			// probability mass dies.
-			for r := need; r <= maxLen; r++ {
-				alive -= next[r]
-				next[r] = 0
-			}
-		}
-		state, next = next, state
-	}
-	// Numerical guard.
-	if alive < 0 {
-		alive = 0
-	}
-	if alive > 1 {
-		alive = 1
-	}
-	return 1 - alive, nil
+	var st RoundState
+	return exactRowFailureInto(&st, intervals, nTracks, pf)
 }
 
 // OffsetDist is a discrete distribution of lateral active-region offsets
 // (nm) across the standard-cell library: the non-aligned layout's source of
 // partial correlation. Offsets are measured from the row's track origin.
+//
+// Distributions built by NewOffsetDist (or Aligned) carry a Walker alias
+// table, so Sample costs O(1) — one uniform, one table row — instead of a
+// linear CDF scan; literal values sample through the scan fallback. The
+// row Monte Carlo itself does not draw offsets one at a time: it samples
+// per-offset CNFET counts from normalized Probs (see roundDirectional), so
+// RowModel.Prepare normalizes literal distributions up front.
 type OffsetDist struct {
 	Offsets []float64
 	Probs   []float64
+
+	// Walker alias table: a draw u·n splits into column i = ⌊u·n⌋ and a
+	// fractional coin; the coin picks the column's own offset below
+	// aliasProb[i] and the alias column's offset above it.
+	aliasProb []float64
+	alias     []int32
+}
+
+// buildAlias constructs the Walker alias table for the (normalized) Probs
+// by the standard two-worklist method: overfull columns donate their excess
+// to underfull ones until every column holds exactly mean mass.
+func (o *OffsetDist) buildAlias() {
+	n := len(o.Probs)
+	o.aliasProb = make([]float64, n)
+	o.alias = make([]int32, n)
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, p := range o.Probs {
+		scaled[i] = p * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		o.aliasProb[s] = scaled[s]
+		o.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers hold (up to rounding) exactly unit mass: they keep their own
+	// offset with certainty.
+	for _, i := range large {
+		o.aliasProb[i] = 1
+		o.alias[i] = i
+	}
+	for _, i := range small {
+		o.aliasProb[i] = 1
+		o.alias[i] = i
+	}
 }
 
 // NewOffsetDist validates and normalizes an offset distribution.
@@ -209,17 +202,34 @@ func NewOffsetDist(offsets, probs []float64) (OffsetDist, error) {
 	for i, p := range probs {
 		ps[i] = p / total
 	}
-	return OffsetDist{Offsets: os, Probs: ps}, nil
+	od := OffsetDist{Offsets: os, Probs: ps}
+	od.buildAlias()
+	return od, nil
 }
 
 // Aligned returns the degenerate distribution of the aligned-active layout:
 // every critical active region sits at the same lateral position.
 func Aligned() OffsetDist {
-	return OffsetDist{Offsets: []float64{0}, Probs: []float64{1}}
+	od := OffsetDist{Offsets: []float64{0}, Probs: []float64{1}}
+	od.buildAlias()
+	return od
 }
 
-// Sample draws one offset.
+// Sample draws one offset: O(1) through the alias table when the
+// distribution was built by NewOffsetDist, a linear CDF scan for literal
+// values. Both consume exactly one uniform.
 func (o OffsetDist) Sample(r *rand.Rand) float64 {
+	if o.alias != nil {
+		u := r.Float64() * float64(len(o.alias))
+		i := int(u)
+		if i >= len(o.alias) { // u == len is unreachable (Float64 < 1), guard anyway
+			i = len(o.alias) - 1
+		}
+		if u-float64(i) < o.aliasProb[i] {
+			return o.Offsets[i]
+		}
+		return o.Offsets[o.alias[i]]
+	}
 	u := r.Float64()
 	var acc float64
 	for i, p := range o.Probs {

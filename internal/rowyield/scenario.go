@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"github.com/cnfet/yieldlab/internal/dist"
 	"github.com/cnfet/yieldlab/internal/montecarlo"
@@ -60,13 +59,37 @@ type RowModel struct {
 	// library, used by the DirectionalUnaligned scenario.
 	Offsets OffsetDist
 
-	// fr is the cached stationary forward-recurrence sampler for Pitch.
+	// fr is the cached stationary forward-recurrence sampler for Pitch; it
+	// doubles as the "prepared" marker.
 	fr *dist.ForwardRecurrence
+	// sampleFirst and samplePitch are the devirtualized samplers resolved
+	// once by Prepare: the first-gap law and the (tabulated, for TruncNormal)
+	// pitch law. Rounds call these funcs directly instead of dispatching
+	// through the Continuous interface per draw.
+	sampleFirst dist.Sampler
+	samplePitch dist.Sampler
+	// nFETs and offSpan cache FETsPerRow and Offsets.Span for the rounds;
+	// lastOcc is the last offset index carrying probability mass (the final
+	// bin of the sequential-binomial occupancy chain).
+	nFETs   int
+	offSpan float64
+	lastOcc int
+	// pfPow[n] = PerCNTFailure^n, math.Pow-filled so lookups are
+	// bit-identical to the per-round math.Pow they replace.
+	pfPow []float64
 }
 
-// Prepare builds the stationary first-gap sampler. Estimators call it
-// automatically; calling it up front moves the one-time cost out of timed
-// sections and surfaces configuration errors early.
+// pfPowHeadroom scales the expected per-window track count into the pf^n
+// table length; counts beyond it (astronomically rare pitch fluctuations)
+// fall back to math.Pow.
+const pfPowHeadroom = 4
+
+// Prepare resolves everything the Monte Carlo rounds need: the stationary
+// first-gap sampler, devirtualized (tabulated) pitch and offset samplers,
+// and the precomputed pf-power table. Estimators call it automatically;
+// calling it up front moves the one-time cost out of timed sections and
+// surfaces configuration errors early. A prepared model is immutable and
+// safe to share across goroutines (each goroutine needs its own RoundState).
 func (m *RowModel) Prepare() error {
 	if err := m.Validate(); err != nil {
 		return err
@@ -74,15 +97,73 @@ func (m *RowModel) Prepare() error {
 	if m.fr != nil {
 		return nil
 	}
-	// The cached constructor shares one table per distinct pitch law, so
+	// The cached constructors share one table per distinct pitch law, so
 	// parameter sweeps building thousands of RowModels pay for one
 	// integration.
 	fr, err := dist.ForwardRecurrenceFor(m.Pitch)
 	if err != nil {
 		return fmt.Errorf("rowyield: stationary sampler: %w", err)
 	}
+	m.sampleFirst = fr.Sample
+	m.samplePitch, err = dist.FastSamplerFor(m.Pitch)
+	if err != nil {
+		return fmt.Errorf("rowyield: pitch sampler: %w", err)
+	}
+	if m.Offsets.alias == nil {
+		// Literal offset distribution: normalize it so the rounds get the
+		// O(1) alias sampler (and invalid literals fail here, not mid-run).
+		od, err := NewOffsetDist(m.Offsets.Offsets, m.Offsets.Probs)
+		if err != nil {
+			return err
+		}
+		m.Offsets = od
+	}
+	m.nFETs, err = m.FETsPerRow()
+	if err != nil {
+		return err
+	}
+	m.offSpan = m.Offsets.Span()
+	m.lastOcc = 0
+	for i, p := range m.Offsets.Probs {
+		if p > 0 {
+			m.lastOcc = i
+		}
+	}
+	n := pfPowTableLen(m.WidthNM, m.Pitch.Mean())
+	m.pfPow = make([]float64, n)
+	for i := range m.pfPow {
+		m.pfPow[i] = math.Pow(m.PerCNTFailure, float64(i))
+	}
 	m.fr = fr
 	return nil
+}
+
+// pfPowTableLen sizes the pf^n table to the expected window count with
+// pfPowHeadroom× margin, bounded to keep degenerate parameters (e.g. a
+// near-zero pitch mean, which would overflow the int conversion) from
+// requesting huge tables.
+func pfPowTableLen(widthNM, meanPitch float64) int {
+	n := 64
+	if meanPitch > 0 {
+		n = clampCount(widthNM/meanPitch)*pfPowHeadroom + 64
+	}
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	return n
+}
+
+// clampCount converts an expected-count ratio to int, clamping non-finite
+// and huge values into [0, 1<<16] so the float→int conversion can neither
+// overflow nor go negative.
+func clampCount(ratio float64) int {
+	if !(ratio > 0) {
+		return 0
+	}
+	if !(ratio < 1<<16) {
+		return 1 << 16
+	}
+	return int(ratio)
 }
 
 // Validate checks the model.
@@ -145,13 +226,10 @@ func (m *RowModel) EstimateRowFailure(r *rand.Rand, s Scenario, rounds int) (Est
 	if rounds < 2 {
 		return Estimate{}, fmt.Errorf("rowyield: need ≥ 2 rounds, got %d", rounds)
 	}
-	nFETs, err := m.FETsPerRow()
-	if err != nil {
-		return Estimate{}, err
-	}
+	st := m.NewRoundState()
 	var w stat.Welford
 	for i := 0; i < rounds; i++ {
-		p, err := m.round(r, s, nFETs)
+		p, err := m.Round(r, s, st)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -161,34 +239,40 @@ func (m *RowModel) EstimateRowFailure(r *rand.Rand, s Scenario, rounds int) (Est
 }
 
 // EstimateRowFailureParallel runs the same estimator across worker
-// goroutines via the montecarlo engine; the result is reproducible from the
-// seed regardless of worker count.
+// goroutines via the montecarlo engine, each worker reusing its own
+// RoundState; the result is bit-identical across worker counts for a fixed
+// (seed, rounds).
 func (m *RowModel) EstimateRowFailureParallel(seed uint64, s Scenario, rounds, workers int) (Estimate, error) {
 	if err := m.Prepare(); err != nil {
 		return Estimate{}, err
 	}
-	nFETs, err := m.FETsPerRow()
-	if err != nil {
-		return Estimate{}, err
-	}
-	est, err := montecarlo.Run(rounds, func(r *rand.Rand) (float64, error) {
-		return m.round(r, s, nFETs)
-	}, montecarlo.Options{Seed: seed, Workers: workers})
+	est, err := montecarlo.RunState(rounds, m.NewRoundState,
+		func(r *rand.Rand, st *RoundState) (float64, error) {
+			return m.Round(r, s, st)
+		}, montecarlo.Options{Seed: seed, Workers: workers})
 	if err != nil {
 		return Estimate{}, err
 	}
 	return Estimate{Mean: est.Mean, StdErr: est.StdErr, Rounds: est.Rounds}, nil
 }
 
-// round dispatches one Monte Carlo realization.
-func (m *RowModel) round(r *rand.Rand, s Scenario, nFETs int) (float64, error) {
+// Round runs one Monte Carlo realization of scenario s using st as scratch.
+// A steady-state round allocates nothing; st must not be shared between
+// goroutines. The model must be prepared before concurrent use (the
+// estimator entry points do this).
+func (m *RowModel) Round(r *rand.Rand, s Scenario, st *RoundState) (float64, error) {
+	if m.fr == nil {
+		if err := m.Prepare(); err != nil {
+			return 0, err
+		}
+	}
 	switch s {
 	case UncorrelatedGrowth:
-		return m.roundUncorrelated(r, nFETs)
+		return m.roundUncorrelated(r), nil
 	case DirectionalUnaligned:
-		return m.roundDirectional(r, nFETs, false)
+		return m.roundDirectional(r, st, false)
 	case DirectionalAligned:
-		return m.roundDirectional(r, nFETs, true)
+		return m.roundDirectional(r, st, true)
 	default:
 		return 0, fmt.Errorf("rowyield: unknown scenario %d", int(s))
 	}
@@ -197,55 +281,120 @@ func (m *RowModel) round(r *rand.Rand, s Scenario, nFETs int) (float64, error) {
 // roundUncorrelated: every CNFET sees its own independent track window.
 // Row survives iff every CNFET survives:
 // P(fail | counts) = 1 - Π_i (1 - pf^{N_i}).
-func (m *RowModel) roundUncorrelated(r *rand.Rand, nFETs int) (float64, error) {
+func (m *RowModel) roundUncorrelated(r *rand.Rand) float64 {
 	logSurv := 0.0
-	for i := 0; i < nFETs; i++ {
+	for i := 0; i < m.nFETs; i++ {
 		n := m.countInWindow(r, m.WidthNM)
-		pFail := math.Pow(m.PerCNTFailure, float64(n)) // pf^0 = 1: empty window always fails
+		var pFail float64 // pf^0 = 1: empty window always fails
+		if n < len(m.pfPow) {
+			pFail = m.pfPow[n]
+		} else {
+			pFail = math.Pow(m.PerCNTFailure, float64(n))
+		}
 		if pFail >= 1 {
-			return 1, nil
+			return 1
 		}
 		logSurv += math.Log1p(-pFail)
 	}
-	return -math.Expm1(logSurv), nil
+	return -math.Expm1(logSurv)
 }
 
 // roundDirectional: one shared track realization; each CNFET covers the
-// tracks inside [offset, offset+W). Exact interval DP on the realization.
-func (m *RowModel) roundDirectional(r *rand.Rand, nFETs int, aligned bool) (float64, error) {
-	span := m.WidthNM
-	if !aligned {
-		span += m.Offsets.Span()
-	}
-	tracks := m.sampleTracks(r, span)
-	intervals := make([]Interval, 0, nFETs)
-	seen := make(map[Interval]bool, 16)
-	for i := 0; i < nFETs; i++ {
-		off := 0.0
-		if !aligned {
-			off = m.Offsets.Sample(r)
-		}
-		iv := windowInterval(tracks, off, off+m.WidthNM)
+// tracks inside [offset, offset+W). Exact interval DP on the realization,
+// entirely over st's reusable buffers.
+//
+// The aligned layout puts every CNFET on the same window, so the row reduces
+// to a single interval with no offset sampling at all. The unaligned layout
+// needs only the *set* of offsets drawn by the row's CNFETs, so instead of
+// nFETs categorical draws it samples the per-offset FET counts exactly via
+// the sequential-binomial factorization of the multinomial — a handful of
+// uniforms — and evaluates one interval per occupied offset.
+func (m *RowModel) roundDirectional(r *rand.Rand, st *RoundState, aligned bool) (float64, error) {
+	if aligned {
+		st.tracks = m.sampleTracksInto(r, m.WidthNM, st.tracks[:0])
+		iv := windowInterval(st.tracks, 0, m.WidthNM)
 		if iv.Empty() {
 			return 1, nil // a CNFET with zero tracks fails with certainty
 		}
-		if !seen[iv] {
-			seen[iv] = true
-			intervals = append(intervals, iv)
+		st.intervals = append(st.intervals[:0], iv)
+		return exactRowFailureInto(st, st.intervals, len(st.tracks), m.PerCNTFailure)
+	}
+	st.tracks = m.sampleTracksInto(r, m.WidthNM+m.offSpan, st.tracks[:0])
+	st.intervals = st.intervals[:0]
+	st.seen.reset()
+	n := m.nFETs
+	rest := 1.0
+	for i, p := range m.Offsets.Probs {
+		if n == 0 {
+			break
+		}
+		if p <= 0 {
+			continue
+		}
+		var ni int
+		if i == m.lastOcc || rest <= p {
+			ni = n // the last occupied offset takes every remaining CNFET
+			n = 0
+		} else {
+			ni = binomialSample(r, n, p/rest)
+			n -= ni
+			rest -= p
+		}
+		if ni == 0 {
+			continue
+		}
+		off := m.Offsets.Offsets[i]
+		iv := windowInterval(st.tracks, off, off+m.WidthNM)
+		if iv.Empty() {
+			return 1, nil // a CNFET with zero tracks fails with certainty
+		}
+		if st.seen.add(iv) {
+			st.intervals = append(st.intervals, iv)
 		}
 	}
-	return ExactRowFailure(intervals, len(tracks), m.PerCNTFailure)
+	return exactRowFailureInto(st, st.intervals, len(st.tracks), m.PerCNTFailure)
 }
 
-// sampleTracks realizes stationary renewal track positions over [0, span):
-// the first gap follows the exact forward-recurrence law, later gaps the
-// pitch law.
-func (m *RowModel) sampleTracks(r *rand.Rand, span float64) []float64 {
-	y := m.fr.Sample(r)
-	var tracks []float64
+// binomialSample draws Bin(n, p) exactly by CDF inversion from a single
+// uniform; when the zero term underflows (enormous n·p) it falls back to
+// counting n Bernoulli draws, which is exact at any size.
+func binomialSample(r *rand.Rand, n int, p float64) int {
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	pmf := math.Exp(float64(n) * math.Log1p(-p))
+	if pmf < 1e-300 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	u := r.Float64()
+	cdf := pmf
+	ratio := p / (1 - p)
+	k := 0
+	for u > cdf && k < n {
+		k++
+		pmf *= ratio * float64(n-k+1) / float64(k)
+		cdf += pmf
+	}
+	return k
+}
+
+// sampleTracksInto realizes stationary renewal track positions over
+// [0, span) into the provided buffer: the first gap follows the exact
+// forward-recurrence law, later gaps the pitch law.
+func (m *RowModel) sampleTracksInto(r *rand.Rand, span float64, tracks []float64) []float64 {
+	y := m.sampleFirst(r)
 	for y < span {
 		tracks = append(tracks, y)
-		y += m.Pitch.Sample(r)
+		y += m.samplePitch(r)
 	}
 	return tracks
 }
@@ -253,20 +402,33 @@ func (m *RowModel) sampleTracks(r *rand.Rand, span float64) []float64 {
 // countInWindow samples the CNT count of one independent window of width w.
 func (m *RowModel) countInWindow(r *rand.Rand, w float64) int {
 	n := 0
-	y := m.fr.Sample(r)
+	y := m.sampleFirst(r)
 	for y < w {
 		n++
-		y += m.Pitch.Sample(r)
+		y += m.samplePitch(r)
 	}
 	return n
 }
 
 // windowInterval returns the inclusive index range of sorted track
-// positions falling inside [lo, hi).
+// positions falling inside [lo, hi). The search is a hand-inlined
+// sort.SearchFloat64s: no closure, nothing to spill into the heap.
 func windowInterval(tracks []float64, lo, hi float64) Interval {
-	start := sort.SearchFloat64s(tracks, lo)
-	end := sort.SearchFloat64s(tracks, hi) - 1
-	return Interval{Lo: start, Hi: end}
+	return Interval{Lo: searchTracks(tracks, lo), Hi: searchTracks(tracks, hi) - 1}
+}
+
+// searchTracks returns the smallest index with tracks[i] >= x.
+func searchTracks(tracks []float64, x float64) int {
+	lo, hi := 0, len(tracks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tracks[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Table1Row is one scenario line of the Table 1 reproduction.

@@ -1,0 +1,265 @@
+package rowyield
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the reusable per-goroutine scratch of the Monte Carlo
+// round functions. A steady-state round — track realization, interval
+// extraction, dedup, exact DP — touches only memory owned by its RoundState,
+// so it performs zero heap allocations and needs no locking: the parallel
+// estimators give every worker goroutine its own state via
+// montecarlo.RunState.
+
+// intervalSet is a small open-addressing hash set of Intervals. It replaces
+// the per-round map[Interval]bool of the directional rounds: probing a flat
+// array beats map overhead at the ~dozen distinct intervals a round sees,
+// and generation-stamped slots make reset O(1) instead of O(capacity).
+type intervalSet struct {
+	keys []Interval
+	gens []uint32
+	gen  uint32
+	n    int // live entries in the current generation
+}
+
+// initCap rounds up to a power of two ≥ 4·want/3 so the load factor stays
+// below 3/4 without growth for the expected population.
+func (s *intervalSet) init(want int) {
+	capacity := 16
+	for capacity*3 < want*4 {
+		capacity *= 2
+	}
+	s.keys = make([]Interval, capacity)
+	s.gens = make([]uint32, capacity)
+	s.gen = 1
+	s.n = 0
+}
+
+// reset empties the set without touching the slots.
+func (s *intervalSet) reset() {
+	s.gen++
+	s.n = 0
+	if s.gen == 0 { // uint32 wrap: stale stamps could alias, clear for real
+		for i := range s.gens {
+			s.gens[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// hash mixes the interval endpoints SplitMix64-style; the low bits index the
+// table.
+func (s *intervalSet) hash(iv Interval) uint64 {
+	z := uint64(uint32(iv.Lo))<<32 | uint64(uint32(iv.Hi))
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// add inserts iv and reports whether it was absent. The set grows (the only
+// allocating path, which stops once the capacity covers the model's interval
+// population) when a generation fills 3/4 of the slots.
+func (s *intervalSet) add(iv Interval) bool {
+	if len(s.keys) == 0 {
+		s.init(16)
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := s.hash(iv) & mask
+	for s.gens[i] == s.gen {
+		if s.keys[i] == iv {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	s.keys[i] = iv
+	s.gens[i] = s.gen
+	s.n++
+	if s.n*4 >= len(s.keys)*3 {
+		s.grow()
+	}
+	return true
+}
+
+// grow doubles the table, rehashing the live generation.
+func (s *intervalSet) grow() {
+	oldKeys, oldGens, oldGen := s.keys, s.gens, s.gen
+	s.init(len(oldKeys) * 2)
+	for i, g := range oldGens {
+		if g != oldGen {
+			continue
+		}
+		iv := oldKeys[i]
+		mask := uint64(len(s.keys) - 1)
+		j := s.hash(iv) & mask
+		for s.gens[j] == s.gen {
+			j = (j + 1) & mask
+		}
+		s.keys[j] = iv
+		s.gens[j] = s.gen
+		s.n++
+	}
+}
+
+// RoundState is the reusable scratch of one Monte Carlo round. States are
+// not safe for concurrent use; give each goroutine its own (the parallel
+// estimators do, through the montecarlo engine's per-worker factory).
+type RoundState struct {
+	tracks    []float64
+	intervals []Interval
+	seen      intervalSet
+	// Exact-DP scratch (see exactRowFailureInto).
+	minLenEnd []int32
+	ring      []float64
+}
+
+// NewRoundState returns scratch pre-sized for the model's expected track and
+// interval populations, so steady-state rounds allocate nothing. Call after
+// Prepare (estimator entry points do both).
+func (m *RowModel) NewRoundState() *RoundState {
+	st := &RoundState{}
+	// Expected tracks over the widest realized span, with 4× headroom for
+	// pitch-law fluctuation; the append paths grow past it if a realization
+	// ever needs more. clampCount bounds degenerate width/pitch ratios, and
+	// an invalid model (nil pitch) just gets the default sizing — Round's
+	// Prepare will reject it with a proper error before the scratch is used.
+	span := m.WidthNM + m.Offsets.Span()
+	expect := 64
+	if m.Pitch != nil {
+		if mean := m.Pitch.Mean(); mean > 0 {
+			expect = clampCount(span/mean)*4 + 64
+		}
+	}
+	st.tracks = make([]float64, 0, expect)
+	nIvs := m.Offsets.DistinctCount() + 1
+	st.intervals = make([]Interval, 0, nIvs)
+	st.seen.init(nIvs)
+	st.minLenEnd = make([]int32, 0, expect)
+	ringCap := 1
+	for ringCap < expect {
+		ringCap <<= 1
+	}
+	st.ring = make([]float64, 0, ringCap)
+	return st
+}
+
+// exactRowFailureInto is the engine behind ExactRowFailure, over
+// caller-owned scratch. The run-length Markov chain is evaluated in a
+// sliding ring buffer: advancing one track is a base-index decrement plus a
+// saturation fold (run lengths cap at maxLen) instead of an O(maxLen) copy,
+// and the uniform pf-scaling of surviving runs is carried in a scalar
+// `scale` factored out of the buffer. The per-track cost is O(1) plus the
+// width of the run range an ending interval kills, so a realization costs
+// O(nTracks + total killed range) instead of O(nTracks × maxLen).
+func exactRowFailureInto(st *RoundState, intervals []Interval, nTracks int, pf float64) (float64, error) {
+	if err := validateRowFailureArgs(nTracks, pf); err != nil {
+		return 0, err
+	}
+	// minLenEnd[t] = length of the shortest interval ending exactly at t
+	// (0 = none). The shortest is binding: a failure run of that length
+	// kills the row.
+	if cap(st.minLenEnd) < nTracks {
+		st.minLenEnd = make([]int32, nTracks)
+	}
+	minLenEnd := st.minLenEnd[:nTracks]
+	for i := range minLenEnd {
+		minLenEnd[i] = 0
+	}
+	maxLen := 0
+	for _, iv := range intervals {
+		if iv.Empty() {
+			// A CNFET with no tracks fails with certainty.
+			return 1, nil
+		}
+		if iv.Lo < 0 || iv.Hi >= nTracks {
+			return 0, fmt.Errorf("rowyield: interval [%d,%d] outside track range [0,%d)", iv.Lo, iv.Hi, nTracks)
+		}
+		l := iv.Len()
+		if l > maxLen {
+			maxLen = l
+		}
+		if cur := minLenEnd[iv.Hi]; cur == 0 || int32(l) < cur {
+			minLenEnd[iv.Hi] = int32(l)
+		}
+	}
+	if len(intervals) == 0 {
+		return 0, nil
+	}
+	switch pf {
+	case 0:
+		return 0, nil // no track ever fails; every interval is non-empty
+	case 1:
+		return 1, nil // every track fails, completing any interval
+	}
+	// ring[(base+r)&mask]·scale = P(current consecutive-failure run length
+	// = r, no interval fully failed so far); runs saturate at maxLen (any
+	// binding threshold is ≤ maxLen, so saturation never hides a
+	// violation). Slots outside the window [base, base+maxLen] are stale
+	// and never read: the window slides by one slot per track, the freshly
+	// entered slot is overwritten with the new zero-run mass, and the slot
+	// that falls out is first folded into the saturation cap.
+	ringCap := 1
+	for ringCap < maxLen+1 {
+		ringCap <<= 1
+	}
+	if cap(st.ring) < ringCap {
+		st.ring = make([]float64, ringCap)
+	}
+	ring := st.ring[:ringCap]
+	for i := range ring {
+		ring[i] = 0
+	}
+	mask := ringCap - 1
+	base := 0
+	ring[0] = 1
+	scale, invScale := 1.0, 1.0
+	invPf := 1 / pf
+	q := 1 - pf
+	alive := 1.0
+	for t := 0; t < nTracks; t++ {
+		// Transition: every run extends by one (×pf, carried by scale),
+		// the saturation cap absorbs the run falling off the window, and
+		// the new zero-run slot collects (1-pf)·(surviving mass).
+		top := ring[(base+maxLen)&mask]
+		base = (base - 1) & mask
+		ring[(base+maxLen)&mask] += top
+		scale *= pf
+		invScale *= invPf
+		if scale < 1e-150 {
+			// Renormalize before invScale can overflow on long rows.
+			for r := 0; r <= maxLen; r++ {
+				ring[(base+r)&mask] *= scale
+			}
+			scale, invScale = 1, 1
+		}
+		ring[base] = q * alive * invScale
+		if need := int(minLenEnd[t]); need > 0 {
+			// Any run ≥ need that ends at t completes an interval: that
+			// probability mass dies.
+			for r := need; r <= maxLen; r++ {
+				j := (base + r) & mask
+				alive -= scale * ring[j]
+				ring[j] = 0
+			}
+		}
+	}
+	st.ring = ring[:0]
+	// Numerical guard.
+	if alive < 0 {
+		alive = 0
+	}
+	if alive > 1 {
+		alive = 1
+	}
+	return 1 - alive, nil
+}
+
+func validateRowFailureArgs(nTracks int, pf float64) error {
+	if pf < 0 || pf > 1 || math.IsNaN(pf) {
+		return fmt.Errorf("rowyield: pf %g out of [0,1]", pf)
+	}
+	if nTracks < 0 {
+		return fmt.Errorf("rowyield: nTracks %d negative", nTracks)
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+package rowyield
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/dist"
+	"github.com/cnfet/yieldlab/internal/rng"
+)
+
+// A steady-state Monte Carlo round must not touch the heap: the tracks,
+// intervals, dedup set and DP buffers all live in the reusable RoundState.
+func TestRoundZeroSteadyStateAllocs(t *testing.T) {
+	offsets, err := NewOffsetDist(
+		[]float64{0, 20, 40, 60, 80, 100, 120, 140},
+		[]float64{1, 1, 1, 1, 1, 1, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testRowModel(t, 30, offsets)
+	if err := m.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		s    Scenario
+	}{
+		{"uncorrelated", UncorrelatedGrowth},
+		{"aligned", DirectionalAligned},
+		{"unaligned", DirectionalUnaligned},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st := m.NewRoundState()
+			r := rng.New(17)
+			// Warm the buffers past any growth transient.
+			for i := 0; i < 200; i++ {
+				if _, err := m.Round(r, tc.s, st); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, err := m.Round(r, tc.s, st); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state round allocates %.1f objects, want 0", allocs)
+			}
+		})
+	}
+}
+
+// The parallel estimator must stay bit-identical across worker counts for a
+// fixed (seed, rounds) — the property the server's ETag revalidation relies
+// on — with every worker running on its own scratch.
+func TestEstimateParallelBitIdenticalAcrossWorkers(t *testing.T) {
+	offsets, err := NewOffsetDist([]float64{0, 60, 120}, []float64{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testRowModel(t, 30, offsets)
+	for _, s := range []Scenario{UncorrelatedGrowth, DirectionalUnaligned, DirectionalAligned} {
+		base, err := m.EstimateRowFailureParallel(41, s, 4_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 5, 16} {
+			got, err := m.EstimateRowFailureParallel(41, s, 4_000, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Mean != base.Mean || got.StdErr != base.StdErr {
+				t.Fatalf("%v: workers=%d changed the estimate: %v vs %v", s, workers, got, base)
+			}
+		}
+	}
+}
+
+// Race coverage for the per-worker scratch: many goroutines estimate on one
+// shared prepared model concurrently (run under -race in CI).
+func TestSharedModelConcurrentEstimatesRace(t *testing.T) {
+	offsets, err := NewOffsetDist([]float64{0, 40, 80}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testRowModel(t, 25, offsets)
+	if err := m.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, errs[g] = m.EstimateRowFailureParallel(uint64(g+1), DirectionalUnaligned, 400, 4)
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// binomialSample must reproduce binomial moments and stay exact at the
+// degenerate edges.
+func TestBinomialSample(t *testing.T) {
+	r := rng.New(23)
+	const n, p, draws = 37, 0.3, 200_000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		k := binomialSample(r, n, p)
+		if k < 0 || k > n {
+			t.Fatalf("out-of-range draw %d", k)
+		}
+		sum += float64(k)
+		sumSq += float64(k) * float64(k)
+	}
+	mean := sum / draws
+	wantMean := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	if math.Abs(mean-wantMean) > 5*sd/math.Sqrt(draws) {
+		t.Errorf("mean %g, want %g", mean, wantMean)
+	}
+	variance := sumSq/draws - mean*mean
+	if math.Abs(variance-sd*sd) > 0.05*sd*sd {
+		t.Errorf("variance %g, want %g", variance, sd*sd)
+	}
+	if binomialSample(r, 10, 0) != 0 || binomialSample(r, 0, 0.5) != 0 {
+		t.Error("zero cases")
+	}
+	if binomialSample(r, 10, 1) != 10 {
+		t.Error("certain case")
+	}
+	// The underflow fallback (Bernoulli counting) keeps the mean.
+	var fsum float64
+	const fn, fp = 5_000, 0.5 // (1-p)^n underflows: exercises the fallback
+	for i := 0; i < 2_000; i++ {
+		fsum += float64(binomialSample(r, fn, fp))
+	}
+	if got, want := fsum/2_000, float64(fn)*fp; math.Abs(got-want) > 10 {
+		t.Errorf("fallback mean %g, want %g", got, want)
+	}
+}
+
+// The occupancy chain must visit offsets with the multinomial marginal:
+// offset i appears in a round with probability 1-(1-p_i)^nFETs. Checked
+// against the per-FET categorical sampling it replaced.
+func TestUnalignedOccupancyMatchesPerFETSampling(t *testing.T) {
+	offsets, err := NewOffsetDist([]float64{0, 50, 100, 150}, []float64{8, 4, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testRowModel(t, 20, offsets)
+	if err := m.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 60_000
+	r := rng.New(31)
+	got := make([]float64, len(offsets.Offsets))
+	n := m.nFETs
+	for round := 0; round < rounds; round++ {
+		rem := n
+		rest := 1.0
+		for i, p := range offsets.Probs {
+			if rem == 0 {
+				break
+			}
+			if p <= 0 {
+				continue
+			}
+			var ni int
+			if i == m.lastOcc || rest <= p {
+				ni, rem = rem, 0
+			} else {
+				ni = binomialSample(r, rem, p/rest)
+				rem -= ni
+				rest -= p
+			}
+			if ni > 0 {
+				got[i]++
+			}
+		}
+	}
+	for i, p := range offsets.Probs {
+		want := -math.Expm1(float64(n) * math.Log1p(-p))
+		if f := got[i] / rounds; math.Abs(f-want) > 0.01 {
+			t.Errorf("offset %d occupancy %v, want %v", i, f, want)
+		}
+	}
+}
+
+// The alias table must reproduce the offset probabilities exactly in
+// expectation, including skewed distributions.
+func TestOffsetAliasDistribution(t *testing.T) {
+	o, err := NewOffsetDist(
+		[]float64{0, 10, 20, 30, 40},
+		[]float64{0.5, 0.25, 0.15, 0.08, 0.02},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	const draws = 400_000
+	counts := map[float64]int{}
+	for i := 0; i < draws; i++ {
+		counts[o.Sample(r)]++
+	}
+	for i, off := range o.Offsets {
+		want := o.Probs[i]
+		f := float64(counts[off]) / draws
+		tol := 5*math.Sqrt(want*(1-want)/draws) + 1e-4
+		if math.Abs(f-want) > tol {
+			t.Errorf("offset %g: freq %v, want %v ± %v", off, f, want, tol)
+		}
+	}
+	// Literal distributions (no alias table) keep the scan fallback.
+	lit := OffsetDist{Offsets: []float64{1, 2}, Probs: []float64{0.5, 0.5}}
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[lit.Sample(r)] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Error("scan fallback broken")
+	}
+}
+
+// Prepare must normalize literal offset distributions (so rounds always get
+// the alias path) and reject invalid ones.
+func TestPrepareNormalizesLiteralOffsets(t *testing.T) {
+	m := testRowModel(t, 30, OffsetDist{Offsets: []float64{0, 50}, Probs: []float64{3, 1}})
+	if err := m.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Offsets.alias == nil {
+		t.Fatal("Prepare should build the alias table")
+	}
+	if !almost(m.Offsets.Probs[0], 0.75, 1e-12) {
+		t.Fatalf("Prepare should normalize probs, got %v", m.Offsets.Probs)
+	}
+	bad := testRowModel(t, 30, OffsetDist{Offsets: []float64{1}, Probs: []float64{0}})
+	if err := bad.Prepare(); err == nil {
+		t.Error("zero-mass literal offsets should fail Prepare")
+	}
+}
+
+// The interval dedup set must behave like the map it replaced, across
+// resets and growth.
+func TestIntervalSet(t *testing.T) {
+	var s intervalSet
+	ref := map[Interval]bool{}
+	r := rng.New(5)
+	for round := 0; round < 50; round++ {
+		s.reset()
+		for k := range ref {
+			delete(ref, k)
+		}
+		for i := 0; i < 300; i++ {
+			iv := Interval{Lo: r.Intn(40), Hi: r.Intn(40)}
+			got := s.add(iv)
+			want := !ref[iv]
+			ref[iv] = true
+			if got != want {
+				t.Fatalf("round %d: add(%v) = %v, want %v", round, iv, got, want)
+			}
+		}
+	}
+}
+
+// Generation-stamp wraparound must clear the table rather than resurrect
+// stale entries.
+func TestIntervalSetGenerationWrap(t *testing.T) {
+	var s intervalSet
+	s.init(4)
+	iv := Interval{1, 2}
+	if !s.add(iv) {
+		t.Fatal("fresh add")
+	}
+	s.gen = ^uint32(0) // next reset wraps
+	s.reset()
+	if !s.add(iv) {
+		t.Fatal("entry resurrected across generation wrap")
+	}
+}
+
+// Degenerate width/pitch ratios must clamp, not overflow the int
+// conversions sizing the pf-power table and the round scratch (a tiny
+// positive pitch mean is accepted by the query layer, so this is reachable
+// from the server).
+func TestPrepareClampsDegeneratePitchRatio(t *testing.T) {
+	if got := pfPowTableLen(155, 5e-17); got != 1<<16 {
+		t.Fatalf("pfPowTableLen = %d, want clamp to %d", got, 1<<16)
+	}
+	if got := pfPowTableLen(math.Inf(1), 1); got != 1<<16 {
+		t.Fatalf("pfPowTableLen(inf) = %d", got)
+	}
+	if got := clampCount(math.NaN()); got != 0 {
+		t.Fatalf("clampCount(NaN) = %d", got)
+	}
+	m := testRowModel(t, 155, Aligned())
+	m.Pitch = dist.Exponential{Rate: 1e17} // mean 1e-17 nm
+	if err := m.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.NewRoundState()
+	if st == nil || cap(st.tracks) > (1<<18)+64 {
+		t.Fatalf("round state scratch not clamped: cap %d", cap(st.tracks))
+	}
+}
+
+// NewRoundState on an unvalidated model must not panic: Round surfaces the
+// validation error once the state is used.
+func TestNewRoundStateNilPitch(t *testing.T) {
+	m := &RowModel{WidthNM: 30, Offsets: Aligned()}
+	st := m.NewRoundState()
+	if st == nil {
+		t.Fatal("nil state")
+	}
+	if _, err := m.Round(rng.New(1), DirectionalAligned, st); err == nil {
+		t.Fatal("Round on a nil-pitch model should error")
+	}
+}
+
+// The ring DP must renormalize rather than overflow on very long rows.
+func TestExactRowFailureLongRowTinyPf(t *testing.T) {
+	const nTracks = 3000
+	got, err := ExactRowFailure([]Interval{{0, 1}}, nTracks, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One length-2 interval at the row start: P = pf².
+	if want := 1e-6; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("long row: %v, want %v", got, want)
+	}
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatal("overflow in the scaled DP")
+	}
+}

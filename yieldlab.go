@@ -251,6 +251,10 @@ type (
 	OffsetDist = rowyield.OffsetDist
 	// RowEstimate is a Monte Carlo estimate with standard error.
 	RowEstimate = rowyield.Estimate
+	// RowRoundState is the reusable per-goroutine scratch of the row Monte
+	// Carlo: RowModel.Round over one RowRoundState performs zero
+	// steady-state heap allocations.
+	RowRoundState = rowyield.RoundState
 )
 
 // The three scenarios of Table 1.
