@@ -1,0 +1,113 @@
+// Command yieldvet is the repo's static-analysis suite: a vet-style
+// multichecker proving the invariants the yield stack's correctness story
+// leans on — determinism of the compute packages, zero-allocation Monte
+// Carlo hot paths, exhaustive canonical fingerprints and the server's JSON
+// error envelope. See DESIGN.md §7 for what each analyzer enforces and how
+// //yield:allow suppressions work.
+//
+// Three ways to run it:
+//
+//	go vet -vettool=$(go env GOPATH)/bin/yieldvet ./...
+//	    the go command drives one yieldvet process per package through
+//	    vet's config-file protocol (build-cached, test files included);
+//
+//	go run ./cmd/yieldvet ./...
+//	    standalone mode: yieldvet resolves the patterns itself via
+//	    go list -export and checks every module package;
+//
+//	go run ./cmd/yieldvet escape ./...
+//	    escape mode: recompiles the module with -gcflags=-m and fails if
+//	    the compiler reports a heap allocation inside any function
+//	    annotated //yield:noalloc — the ground truth the noalloc
+//	    analyzer's AST view approximates. Also rules on the staleness of
+//	    //yield:allow(noalloc) suppressions, which the AST pass alone
+//	    cannot decide.
+//
+// The tool is stdlib-only: the analyzers run on a miniature analysis
+// framework (internal/analysis) mirroring golang.org/x/tools/go/analysis,
+// which the sandboxed build environment cannot fetch.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/cnfet/yieldlab/internal/analysis"
+	"github.com/cnfet/yieldlab/internal/analysis/canonical"
+	"github.com/cnfet/yieldlab/internal/analysis/determinism"
+	"github.com/cnfet/yieldlab/internal/analysis/errenvelope"
+	"github.com/cnfet/yieldlab/internal/analysis/noalloc"
+)
+
+// suite is the yieldvet analyzer set. Order is presentation only;
+// diagnostics are sorted by position.
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		noalloc.Analyzer,
+		canonical.Analyzer,
+		errenvelope.Analyzer,
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// The go vet -vettool protocol: -V=full identifies the tool for build
+	// caching, -flags describes tool flags (yieldvet has none), and a
+	// single *.cfg argument asks for one compilation unit to be checked.
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			fmt.Printf("yieldvet version devel buildID=%[1]s/%[1]s/%[1]s/%[1]s\n", selfID())
+			return
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetConfig(args[0]))
+	}
+
+	if len(args) > 0 && args[0] == "escape" {
+		os.Exit(runEscape(defaultPatterns(args[1:])))
+	}
+	os.Exit(runStandalone(defaultPatterns(args)))
+}
+
+// defaultPatterns applies the ./... default.
+func defaultPatterns(args []string) []string {
+	if len(args) == 0 {
+		return []string{"./..."}
+	}
+	return args
+}
+
+// selfID derives the tool's build-cache identity from its own executable
+// bytes, so editing an analyzer invalidates go vet's cached verdicts.
+func selfID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			return hex.EncodeToString(sum[:12])
+		}
+	}
+	// Without a readable executable there is nothing stable to key on;
+	// an always-changing ID just disables caching, which is safe.
+	return "unknown"
+}
+
+// printDiagnostics renders findings the way vet tools do and reports
+// whether there were any.
+func printDiagnostics(target *analysis.Target, diags []analysis.Diagnostic) bool {
+	for _, d := range diags {
+		pos := target.Fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", pos, d.Message, d.Rule)
+	}
+	return len(diags) > 0
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"github.com/cnfet/yieldlab/internal/analysis"
+	"github.com/cnfet/yieldlab/internal/analysis/load"
+)
+
+// listedPackage is the slice of `go list -json` output the driver needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+}
+
+// goList runs `go list` with the given flags and patterns and decodes the
+// JSON stream.
+func goList(flags []string, patterns []string) ([]*listedPackage, error) {
+	args := append(append([]string{"list"}, flags...), patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// loadModulePackages resolves patterns to the module's packages plus an
+// export-data index covering every dependency, ready for type-checking
+// targets from source.
+func loadModulePackages(patterns []string) (targets []*listedPackage, packageFile map[string]string, goVersion string, err error) {
+	// One -deps -export walk yields both the target set (non-standard
+	// packages matching the patterns are flagged DepOnly=false, but the
+	// cheap and robust selector is a second plain list) and export data
+	// for everything the targets import.
+	all, err := goList([]string{"-deps", "-export", "-json"}, patterns)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	packageFile = make(map[string]string, len(all))
+	for _, p := range all {
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+	}
+
+	named, err := goList([]string{"-json"}, patterns)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	want := make(map[string]bool, len(named))
+	for _, p := range named {
+		want[p.ImportPath] = true
+	}
+	for _, p := range all {
+		if !want[p.ImportPath] || p.Standard {
+			continue
+		}
+		targets = append(targets, p)
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+	}
+	return targets, packageFile, goVersion, nil
+}
+
+// runStandalone checks every module package matching the patterns and
+// returns the process exit code.
+func runStandalone(patterns []string) int {
+	targets, packageFile, goVersion, err := loadModulePackages(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yieldvet: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, p := range targets {
+		filenames := make([]string, len(p.GoFiles))
+		for i, name := range p.GoFiles {
+			filenames[i] = filepath.Join(p.Dir, name)
+		}
+		fset := token.NewFileSet()
+		imp := load.ExportImporter(fset, nil, packageFile)
+		target, err := load.Files(fset, p.ImportPath, filenames, imp, goVersion)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yieldvet: %s: %v\n", p.ImportPath, err)
+			return 2
+		}
+		diags, err := analysis.Check(target, suite())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yieldvet: %s: %v\n", p.ImportPath, err)
+			return 2
+		}
+		if printDiagnostics(target, diags) {
+			exit = 1
+		}
+	}
+	return exit
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"github.com/cnfet/yieldlab/internal/analysis"
+	"github.com/cnfet/yieldlab/internal/analysis/load"
+)
+
+// vetConfig is the compilation-unit description `go vet` hands a vettool,
+// one JSON file per package — the schema of cmd/go's vet.cfg (mirrored
+// from x/tools' unitchecker.Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetConfig checks the single compilation unit described by cfgFile and
+// returns the process exit code: 0 clean, 1 findings, 2 operational error.
+func runVetConfig(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yieldvet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "yieldvet: decoding %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// The go command schedules fact-only (VetxOnly) runs over dependencies
+	// for analyzers that exchange facts across packages. The yieldvet
+	// analyzers are package-local, so a dependency visit only needs the
+	// (empty) fact file the protocol expects.
+	if cfg.VetxOnly {
+		writeVetx(cfg.VetxOutput)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := load.ExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	target, err := load.Files(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the same problem with a better
+			// message; stay quiet.
+			writeVetx(cfg.VetxOutput)
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "yieldvet: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	diags, err := analysis.Check(target, suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yieldvet: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	writeVetx(cfg.VetxOutput)
+	if printDiagnostics(target, diags) {
+		return 1
+	}
+	return 0
+}
+
+// writeVetx writes the (empty) fact file the vet protocol expects; best
+// effort, since no analyzer here consumes facts.
+func writeVetx(path string) {
+	if path != "" {
+		_ = os.WriteFile(path, nil, 0o666)
+	}
+}

@@ -1,0 +1,110 @@
+// Package analysis is a deliberately small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough framework to write the
+// repo-specific yieldvet analyzers (determinism, noalloc, canonical,
+// errenvelope) against the standard library's go/ast and go/types.
+//
+// The module is stdlib-only by policy — the sandboxed builders this repo
+// grows under have no module proxy — so instead of importing x/tools the
+// package mirrors the parts of its API the analyzers need: an Analyzer
+// carries a name, documentation and a Run function; a Pass hands Run one
+// type-checked package and collects Diagnostics. The shapes match x/tools
+// closely enough that porting the analyzers onto the real framework is a
+// mechanical change should the dependency ever become available.
+//
+// On top of the x/tools shape the package adds the repo's suppression
+// story: //yield:allow(rule) directives (see directive.go) are applied by
+// Check in run.go, which also verifies the directives themselves — unknown
+// rules, missing reasons and stale suppressions are diagnostics, so the
+// annotation layer cannot rot silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a named invariant checker over a
+// single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and is the rule name
+	// //yield:allow(name) suppresses. It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph documentation shown by `yieldvet help`.
+	Doc string
+
+	// Run applies the analyzer to one package. Findings go through
+	// pass.Report; the error return is for the analyzer itself failing,
+	// not for findings.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass connects one Analyzer run to the package under analysis.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one finding. Check installs a collector here.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NonTestFiles returns the pass's files excluding _test.go files. The
+// yieldvet invariants target production code: tests legitimately use wall
+// clocks, environment variables and allocation-heavy helpers, and `go vet`
+// hands vettools the test-augmented package variants too.
+func (p *Pass) NonTestFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// A Diagnostic is one finding, positioned in the pass's FileSet.
+type Diagnostic struct {
+	Pos token.Pos
+	// Rule is the analyzer (or directive-checker) name; Check fills it in.
+	Rule    string
+	Message string
+}
+
+// A Target is one loaded, type-checked package ready for analysis — the
+// input Check shares between the analysistest harness, the standalone
+// driver and the `go vet -vettool` config mode.
+type Target struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

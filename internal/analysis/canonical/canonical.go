@@ -1,0 +1,133 @@
+// Package canonical checks that canonical fingerprints cannot silently
+// fork: for every named struct type that declares a Canonical method (the
+// query.Spec pattern — normalize the spec, hash it into the qs1- cache and
+// ETag identity), every exported field of the struct must be mentioned
+// somewhere in the method body.
+//
+// The reasoning: Canonical's job is to decide, field by field, whether a
+// field is normalized, zeroed for irrelevant kinds, or passed through into
+// the fingerprint. A field the method never names has made none of those
+// decisions — typically a freshly added sweep axis — and two specs
+// differing only in it would either share a fingerprint they must not, or
+// split one they must share. Fields that are deliberately passed through
+// verbatim are waived field-by-field with
+//
+//	//yield:allow(canonical) reason
+//
+// on the field's declaration line, so the waiver and its justification
+// live next to the field a reviewer reads.
+package canonical
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/cnfet/yieldlab/internal/analysis"
+)
+
+// Analyzer is the canonical-exhaustiveness checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "canonical",
+	Doc:  "every exported field of a struct with a Canonical method must be mentioned (or waived) in that method",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	files := pass.NonTestFiles()
+
+	// Pass 1: find Canonical methods and their receiver struct types.
+	type subject struct {
+		named  *types.Named
+		strct  *types.Struct
+		method *ast.FuncDecl
+	}
+	var subjects []subject
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Canonical" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			method, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := method.Type().(*types.Signature).Recv()
+			if recv == nil {
+				continue
+			}
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				continue
+			}
+			strct, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			subjects = append(subjects, subject{named: named, strct: strct, method: fn})
+		}
+	}
+
+	for _, s := range subjects {
+		mentioned := fieldMentions(pass, s.method, s.named)
+		for i := 0; i < s.strct.NumFields(); i++ {
+			f := s.strct.Field(i)
+			if !f.Exported() || mentioned[f.Name()] {
+				continue
+			}
+			pass.Reportf(f.Pos(),
+				"exported field %s.%s is never mentioned in Canonical(): normalize it, zero it for irrelevant kinds, or waive it with //yield:allow(canonical)",
+				s.named.Obj().Name(), f.Name())
+		}
+	}
+	return nil
+}
+
+// fieldMentions collects the names of named's fields selected anywhere in
+// the method body (x.Field on a value of the receiver type, directly or
+// through a pointer) or set in a composite literal of the type.
+func fieldMentions(pass *analysis.Pass, method *ast.FuncDecl, named *types.Named) map[string]bool {
+	mentioned := make(map[string]bool)
+	ast.Inspect(method.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if rn, ok := recv.(*types.Named); ok && rn.Obj() == named.Obj() {
+				mentioned[n.Sel.Name] = true
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok {
+				return true
+			}
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if rn, ok := t.(*types.Named); !ok || rn.Obj() != named.Obj() {
+				return true
+			}
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						mentioned[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return mentioned
+}

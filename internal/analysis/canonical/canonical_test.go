@@ -1,0 +1,12 @@
+package canonical_test
+
+import (
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/analysis/analysistest"
+	"github.com/cnfet/yieldlab/internal/analysis/canonical"
+)
+
+func TestCanonicalExhaustiveness(t *testing.T) {
+	analysistest.Run(t, "query", canonical.Analyzer)
+}

@@ -1,0 +1,46 @@
+// Package query is a canonical fixture: structs with a Canonical method
+// must mention every exported field in it.
+package query
+
+// Spec mimics the real QuerySpec: Canonical handles most fields, waives
+// one explicitly and forgets another — the forgotten one must be flagged.
+type Spec struct {
+	Kind    string
+	WidthNM float64
+	// GridStep passes through verbatim by design: it changes the cache
+	// identity, never a result.
+	GridStep float64 //yield:allow(canonical) grid geometry is cache identity by design, passed through verbatim
+	Rounds   int     // want "exported field Spec.Rounds is never mentioned in Canonical"
+
+	hidden int // unexported fields are not part of the contract
+}
+
+// Canonical normalizes the spec. Rounds is (deliberately, for the test)
+// never mentioned.
+func (q Spec) Canonical() (Spec, string) {
+	c := q
+	if c.Kind == "" {
+		c.Kind = "pf"
+	}
+	if c.WidthNM < 0 {
+		c.WidthNM = 0
+	}
+	_ = c.hidden
+	return c, c.Kind
+}
+
+// Point has no Canonical method, so nothing is required of it.
+type Point struct {
+	X, Y float64
+}
+
+// Complete mentions every exported field, partly via a composite literal.
+type Complete struct {
+	A string
+	B int
+}
+
+// Canonical normalizes a Complete.
+func (c Complete) Canonical() Complete {
+	return Complete{A: c.A, B: 0}
+}

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/analysis/analysistest"
+	"github.com/cnfet/yieldlab/internal/analysis/determinism"
+)
+
+func TestComputePackageFindings(t *testing.T) {
+	analysistest.Run(t, "rowyield", determinism.Analyzer)
+}
+
+func TestNonComputePackageIsExempt(t *testing.T) {
+	analysistest.Run(t, "webui", determinism.Analyzer)
+}

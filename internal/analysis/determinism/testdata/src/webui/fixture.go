@@ -1,0 +1,22 @@
+// Package webui is a clean fixture: it is not a compute package, so
+// clocks, environment reads and map-order writes are all legitimate here.
+package webui
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// serve does everything the determinism analyzer hates, outside its scope.
+func serve(w io.Writer, m map[string]float64) {
+	fmt.Fprintf(w, "t=%v env=%s r=%g\n", time.Now(), os.Getenv("PORT"), rand.Float64())
+	total := 0.0
+	for k, v := range m {
+		total += v
+		fmt.Fprintf(w, "%s\n", k)
+	}
+	_ = total
+}

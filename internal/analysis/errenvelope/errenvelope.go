@@ -1,0 +1,105 @@
+// Package errenvelope checks that the yieldserver HTTP layer speaks one
+// error schema. Every error leaving internal/server must go through the
+// JSON envelope helpers (writeError / writeEvalError →
+// {"error": {"code", "message"}}): clients, the CLI's server mode and the
+// CI smoke test all parse that envelope, and a single http.Error slipping
+// in would hand them a text/plain body with no machine-readable code.
+//
+// In packages named server the analyzer flags, outside _test.go files:
+//
+//   - http.Error and http.NotFound (plain-text error writers);
+//   - fmt.Fprint/Fprintf/Fprintln and io.WriteString targeting an
+//     http.ResponseWriter — raw bodies bypass the envelope and the
+//     Content-Type contract. Deliberately non-JSON endpoints (the
+//     Prometheus /metrics text exposition) carry a //yield:allow with
+//     their justification.
+package errenvelope
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/cnfet/yieldlab/internal/analysis"
+)
+
+// Analyzer is the error-envelope checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errenvelope",
+	Doc:  "server handlers must emit errors through the JSON envelope helpers, never http.Error or raw writes",
+	Run:  run,
+}
+
+// plainTextWriters are net/http helpers that answer with text/plain
+// bodies, bypassing the envelope.
+var plainTextWriters = map[string]bool{"Error": true, "NotFound": true}
+
+// rawWriters write caller-formatted bytes to their first argument.
+var rawWriters = map[string]map[string]bool{
+	"fmt": {"Fprint": true, "Fprintf": true, "Fprintln": true},
+	"io":  {"WriteString": true},
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "server" {
+		return nil
+	}
+	rw := responseWriterType(pass.Pkg)
+	for _, file := range pass.NonTestFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			switch path := fn.Pkg().Path(); {
+			case path == "net/http" && plainTextWriters[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"http.%s writes a text/plain error outside the JSON envelope; use writeError instead",
+					fn.Name())
+			case rawWriters[path][fn.Name()]:
+				if rw == nil || len(call.Args) == 0 {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[call.Args[0]]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if types.Implements(tv.Type, rw) || types.Identical(tv.Type, rw.Underlying()) {
+					pass.Reportf(call.Pos(),
+						"%s.%s writes a raw body to an http.ResponseWriter, bypassing the JSON envelope; use writeJSON/writeError",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// responseWriterType resolves net/http.ResponseWriter through the
+// package's imports (nil when the package never imports net/http — then
+// there is nothing to protect).
+func responseWriterType(pkg *types.Package) *types.Interface {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != "net/http" {
+			continue
+		}
+		obj := imp.Scope().Lookup("ResponseWriter")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}

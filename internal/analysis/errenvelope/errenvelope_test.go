@@ -1,0 +1,16 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/analysis/analysistest"
+	"github.com/cnfet/yieldlab/internal/analysis/errenvelope"
+)
+
+func TestServerPackage(t *testing.T) {
+	analysistest.Run(t, "server", errenvelope.Analyzer)
+}
+
+func TestNonServerPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, "proxy", errenvelope.Analyzer)
+}

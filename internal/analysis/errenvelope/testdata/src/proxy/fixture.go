@@ -1,0 +1,13 @@
+// Package proxy is a clean fixture: the envelope contract binds only
+// packages named server.
+package proxy
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func debug(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusTeapot)
+	fmt.Fprintf(w, "err=%v", err)
+}

@@ -1,0 +1,46 @@
+// Package server is an errenvelope fixture: error bodies must go through
+// the JSON envelope helpers.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+type envelope struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError is the sanctioned envelope helper.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(envelope{Code: "bad_request", Message: err.Error()})
+}
+
+// bad emits errors every way the analyzer must catch.
+func bad(w http.ResponseWriter, r *http.Request, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest) // want "http.Error writes a text/plain error outside the JSON envelope"
+	http.NotFound(w, r)                               // want "http.NotFound writes a text/plain error"
+	fmt.Fprintf(w, "error: %v", err)                  // want "fmt.Fprintf writes a raw body to an http.ResponseWriter"
+	fmt.Fprintln(w, "nope")                           // want "fmt.Fprintln writes a raw body"
+	_, _ = io.WriteString(w, "nope")                  // want "io.WriteString writes a raw body"
+}
+
+// good stays inside the envelope; raw writes to non-ResponseWriter sinks
+// are out of scope.
+func good(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusBadRequest, err)
+	var b strings.Builder
+	fmt.Fprintf(&b, "log line: %v", err)
+}
+
+// metricsText is a deliberately non-JSON endpoint.
+func metricsText(w http.ResponseWriter, body string) {
+	//yield:allow(errenvelope) Prometheus text exposition format, not an API error body
+	_, _ = io.WriteString(w, body)
+}

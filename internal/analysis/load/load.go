@@ -1,0 +1,117 @@
+// Package load turns Go source into the type-checked analysis.Target the
+// yieldvet analyzers run over, using only the standard library's parser
+// and type checker.
+//
+// Three loading paths share these helpers:
+//
+//   - the analysistest harness loads fixture directories, resolving their
+//     (stdlib-only) imports by type-checking GOROOT sources via the
+//     "source" importer — hermetic, no build cache or network needed;
+//   - yieldvet's standalone mode loads module packages listed by
+//     `go list -deps -export -json`, resolving imports through the
+//     compiler's export data — exact and fast;
+//   - yieldvet's `go vet -vettool` mode does the same from the vet.cfg
+//     the go command hands it.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/cnfet/yieldlab/internal/analysis"
+)
+
+// Files parses and type-checks one package from explicit file names.
+// importPath becomes the package path; imp resolves imports; goVersion
+// ("go1.24", or "" for the checker default) bounds the language version.
+func Files(fset *token.FileSet, importPath string, filenames []string, imp types.Importer, goVersion string) (*analysis.Target, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return check(fset, importPath, files, imp, goVersion)
+}
+
+// Dir parses and type-checks the single package in dir, resolving imports
+// from GOROOT source — the fixture-loading path, where imports are
+// stdlib-only by construction.
+func Dir(dir string) (*analysis.Target, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		filenames = append(filenames, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	return Files(fset, filepath.Base(dir), filenames, SourceImporter(fset), "")
+}
+
+// check runs the type checker over parsed files.
+func check(fset *token.FileSet, importPath string, files []*ast.File, imp types.Importer, goVersion string) (*analysis.Target, error) {
+	info := analysis.NewInfo()
+	conf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Target{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// SourceImporter resolves imports by type-checking package sources under
+// GOROOT. It is hermetic (no build cache) but only reaches the standard
+// library; module-local imports need export data.
+func SourceImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+// ExportImporter resolves imports through compiler export data files:
+// importMap translates source-level import strings to package paths
+// (identity for non-vendored builds) and packageFile locates each package
+// path's export data. Both maps follow the go command's vet.cfg schema and
+// the output of `go list -export`.
+func ExportImporter(fset *token.FileSet, importMap, packageFile map[string]string) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		if path, ok := importMap[importPath]; ok {
+			importPath = path
+		}
+		return gc.Import(importPath)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,171 @@
+// Package noalloc checks functions annotated //yield:noalloc — the Monte
+// Carlo hot paths PR 5 made allocation-free (RowModel.Round, the
+// ring-buffer DP, the tabulated samplers) — for allocation constructs in
+// their bodies:
+//
+//   - make / new and slice, map and &composite literals;
+//   - append (the backing array may grow — pre-size the scratch, and
+//     document deliberate warm-up growth paths with //yield:allow);
+//   - function literals (the closure object and its captures live on the
+//     heap whenever the compiler cannot prove otherwise);
+//   - string concatenation;
+//   - implicit interface conversions at call boundaries (boxing), the
+//     classic hidden allocation behind fmt and error paths;
+//   - go statements (a new goroutine is never free).
+//
+// The AST view is an approximation in both directions: it cannot see
+// escape analysis (a make the compiler stack-allocates is flagged; an
+// escaping value it has no syntax for is missed). `yieldvet escape`
+// closes the gap by parsing the compiler's -m output for the same
+// annotated set, so the AST check documents intent at the source level
+// while the compiler confirms the steady state.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/cnfet/yieldlab/internal/analysis"
+)
+
+// Analyzer is the zero-allocation invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocation constructs inside functions annotated //yield:noalloc",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.IsNoalloc(fn) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //yield:noalloc function may allocate its captures")
+			return false // the literal's body belongs to the closure, not this function
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocates in //yield:noalloc function")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n.X) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in //yield:noalloc function")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && isString(pass, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in //yield:noalloc function")
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in //yield:noalloc function spawns a goroutine (allocates)")
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating builtins and implicit interface conversions
+// at call boundaries.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates in //yield:noalloc function; reuse caller-owned scratch", id.Name)
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array in //yield:noalloc function; pre-size the scratch")
+			}
+			return
+		}
+	}
+
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if ok && tv.IsType() {
+		// Explicit conversion T(x): boxing when T is an interface.
+		if isIface(tv.Type) && len(call.Args) == 1 && !isIfaceOrNil(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface boxes its operand in //yield:noalloc function")
+		}
+		return
+	}
+
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // xs... passes the slice through, no per-element boxing
+			}
+			param = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if isIface(param) && !isIfaceOrNil(pass, arg) {
+			pass.Reportf(arg.Pos(), "passing a concrete value as %s boxes it in //yield:noalloc function", param.String())
+		}
+	}
+}
+
+// checkCompositeLit flags literals whose backing store is heap-prone:
+// slices and maps. Plain struct and array values live in place.
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal allocates in //yield:noalloc function")
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal allocates in //yield:noalloc function")
+	}
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isIface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// isIfaceOrNil reports whether arg is already interface-typed (no new
+// boxing) or the untyped nil (boxes to the zero interface, no allocation).
+func isIfaceOrNil(pass *analysis.Pass, arg ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return true // be conservative: no type info, no finding
+	}
+	if tv.IsNil() {
+		return true
+	}
+	return isIface(tv.Type)
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/analysis/analysistest"
+	"github.com/cnfet/yieldlab/internal/analysis/noalloc"
+)
+
+func TestAnnotatedFunctions(t *testing.T) {
+	analysistest.Run(t, "hot", noalloc.Analyzer)
+}

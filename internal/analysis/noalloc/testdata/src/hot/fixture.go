@@ -1,0 +1,77 @@
+// Package hot is a noalloc fixture: annotated functions must be free of
+// allocation constructs; unannotated ones are out of scope.
+package hot
+
+import "fmt"
+
+type scratch struct {
+	buf  []float64
+	name string
+}
+
+// fill is a steady-state hot path: reuse only, nothing to flag.
+//
+//yield:noalloc
+func fill(st *scratch, xs []float64) float64 {
+	buf := st.buf[:0]
+	total := 0.0
+	for i, x := range xs {
+		if i < cap(buf) {
+			buf = buf[:i+1]
+			buf[i] = x
+		}
+		total += x
+	}
+	st.buf = buf
+	return total
+}
+
+// leaky trips every allocation construct the analyzer knows.
+//
+//yield:noalloc
+func leaky(st *scratch, xs []float64) error {
+	st.buf = make([]float64, 4)       // want "make allocates in //yield:noalloc function"
+	p := new(scratch)                 // want "new allocates in //yield:noalloc function"
+	st.buf = append(st.buf, 1)        // want "append may grow its backing array"
+	f := func() {}                    // want "closure in //yield:noalloc function"
+	s := []float64{1, 2}              // want "slice literal allocates"
+	m := map[string]int{}             // want "map literal allocates"
+	q := &scratch{}                   // want "&composite literal allocates"
+	st.name = st.name + "x"           // want "string concatenation allocates"
+	st.name += "y"                    // want "string concatenation allocates"
+	go fill(st, xs)                   // want "go statement in //yield:noalloc function"
+	var sink any = st                 // plain declaration: assignment boxing is out of AST scope
+	_ = fmt.Errorf("oops %d", len(s)) // want "passing a concrete value as any boxes it"
+	_, _, _, _, _ = p, f, m, q, sink
+	return nil
+}
+
+// boxed exercises the interface-conversion checks in isolation.
+//
+//yield:noalloc
+func boxed(st *scratch, err error, vals []any) {
+	takeAny(st)           // want "passing a concrete value as any boxes it"
+	takeAny(err)          // already an interface: no new boxing
+	takeAny(nil)          // nil boxes to the zero interface without allocating
+	takeVariadic(1, 2)    // want "passing a concrete value as any boxes it" "passing a concrete value as any boxes it"
+	takeVariadic(vals...) // spreading an existing slice does not box per element
+	_ = any(err)          // interface-to-interface conversion is free
+	_ = any(st.buf)       // want "conversion to interface boxes its operand"
+}
+
+func takeAny(v any)          { _ = v }
+func takeVariadic(vs ...any) { _ = vs }
+
+// unannotated may allocate freely: the invariant is opt-in.
+func unannotated() []float64 {
+	out := make([]float64, 8)
+	return append(out, 1)
+}
+
+// allowed documents a deliberate warm-up growth path.
+//
+//yield:noalloc
+func allowed(st *scratch, x float64) {
+	//yield:allow(noalloc) scratch grows once until it covers the population, then steady-state reuse
+	st.buf = append(st.buf, x)
+}

@@ -123,6 +123,8 @@ func NewTruncNormalTable(t TruncNormal, cells int) (*TruncNormalTable, error) {
 
 // Quantile inverts the tabulated CDF at u in [0, 1]; the ≈1e-13 tails
 // beyond the tabulated mass on either side use the exact quantile.
+//
+//yield:noalloc
 func (tb *TruncNormalTable) Quantile(u float64) float64 {
 	if !(u > tb.cdf[0]) || u >= tb.maxU {
 		return tb.law.Quantile(u) // tail (or NaN) delegation stays exact
@@ -145,6 +147,8 @@ func (tb *TruncNormalTable) Quantile(u float64) float64 {
 
 // Sample draws one variate by tabulated inverse transform, consuming exactly
 // one uniform per draw like the exact sampler it replaces.
+//
+//yield:noalloc
 func (tb *TruncNormalTable) Sample(r *rand.Rand) float64 {
 	return tb.Quantile(r.Float64())
 }

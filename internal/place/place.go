@@ -9,6 +9,7 @@ package place
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/cnfet/yieldlab/internal/celllib"
 	"github.com/cnfet/yieldlab/internal/netlist"
@@ -167,7 +168,7 @@ func (p *Placement) CriticalOffsetDist(wminNM float64) (rowyield.OffsetDist, err
 	for off := range weights {
 		offsets = append(offsets, off)
 	}
-	sortFloat64s(offsets)
+	sort.Float64s(offsets)
 	probs := make([]float64, len(offsets))
 	for i, off := range offsets {
 		probs[i] = weights[off]
@@ -226,12 +227,4 @@ func (p *Placement) CorrelatedChipYield(devicePF, wminNM, lcntNM, chipMmin float
 		RowPF:        devicePF,
 		Yield:        y,
 	}, nil
-}
-
-func sortFloat64s(xs []float64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

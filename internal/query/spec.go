@@ -78,8 +78,8 @@ type Spec struct {
 
 	// GridStepNM and MaxWidthNM override the renewal grid (0 = session
 	// default). Changing them changes the cache identity, never a result.
-	GridStepNM float64 `json:"grid_step_nm,omitempty"`
-	MaxWidthNM float64 `json:"max_width_nm,omitempty"`
+	GridStepNM float64 `json:"grid_step_nm,omitempty"` //yield:allow(canonical) numerics knob, not query identity: the grid changes cost, never a result, so Canonical passes it through untouched
+	MaxWidthNM float64 `json:"max_width_nm,omitempty"` //yield:allow(canonical) numerics knob, not query identity: the grid changes cost, never a result, so Canonical passes it through untouched
 
 	// PitchMeanNM overrides the mean inter-CNT pitch (0 = the calibrated
 	// 4 nm of [Deng 07]); PitchSigmaRatio the parent-normal σ/µ of the

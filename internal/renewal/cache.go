@@ -3,6 +3,7 @@ package renewal
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"github.com/cnfet/yieldlab/internal/dist"
@@ -159,38 +160,51 @@ type CacheStats struct {
 	Sweeps uint64
 }
 
+// snapshotLocked returns the cached entries in ascending cache-key order —
+// law fingerprint first, then the grid options — so every traversal of the
+// cache is deterministic regardless of map iteration order. Caller holds
+// c.mu.
+func (c *SweepCache) snapshotLocked() []*cacheEntry {
+	keys := make([]string, 0, len(c.entries))
+	for key := range c.entries {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	snapshot := make([]*cacheEntry, len(keys))
+	for i, key := range keys {
+		snapshot[i] = c.entries[key]
+	}
+	return snapshot
+}
+
 // Stats returns a snapshot of the cache's counters.
 func (c *SweepCache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
 	c.mu.Lock()
-	models := make([]*Model, 0, len(c.entries))
-	for _, e := range c.entries {
-		models = append(models, e.model)
-	}
+	entries := c.snapshotLocked()
 	s := CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
 	c.mu.Unlock()
 	// Model counters take the per-model lock; read them outside the cache
 	// lock so a long sweep cannot stall unrelated cache traffic.
-	for _, m := range models {
-		s.Sweeps += m.Sweeps()
+	for _, e := range entries {
+		s.Sweeps += e.model.Sweeps()
 	}
 	return s
 }
 
 // ForEach calls fn for every cached model with its law fingerprint, in
-// unspecified order. The callback runs outside the cache lock, so it may
-// sweep, snapshot, or call back into the cache.
+// ascending cache-key order (law fingerprint, then grid options), so that
+// persistence and /v1/stats traffic do not depend on map iteration order.
+// The callback runs outside the cache lock, so it may sweep, snapshot, or
+// call back into the cache.
 func (c *SweepCache) ForEach(fn func(fingerprint string, m *Model)) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
-	snapshot := make([]*cacheEntry, 0, len(c.entries))
-	for _, e := range c.entries {
-		snapshot = append(snapshot, e)
-	}
+	snapshot := c.snapshotLocked()
 	c.mu.Unlock()
 	for _, e := range snapshot {
 		fn(e.fp, e.model)

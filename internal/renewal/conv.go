@@ -79,12 +79,12 @@ func Calibrate() float64 {
 
 	directNS := math.MaxFloat64
 	for r := 0; r < reps; r++ {
-		t0 := time.Now()
+		t0 := time.Now() //yield:allow(determinism) Calibrate measures wall-clock kernel cost by design; it only tunes the FFT/direct crossover, never a result
 		for i := range dst {
 			dst[i] = 0
 		}
 		convolveBlocked(dst, d, f, 0, supp)
-		if ns := float64(time.Since(t0).Nanoseconds()); ns < directNS {
+		if ns := float64(time.Since(t0).Nanoseconds()); ns < directNS { //yield:allow(determinism) timing readback of the calibration stopwatch
 			directNS = ns
 		}
 	}
@@ -98,12 +98,12 @@ func Calibrate() float64 {
 	out := make([]float64, n)
 	fftNS := math.MaxFloat64
 	for r := 0; r < reps; r++ {
-		t0 := time.Now()
+		t0 := time.Now() //yield:allow(determinism) Calibrate measures wall-clock kernel cost by design; it only tunes the FFT/direct crossover, never a result
 		plan.RealForward(fs, f)
 		plan.RealForward(spec, d)
 		fft.MulSpectra(spec, spec, fs)
 		plan.RealInverse(out, spec, work)
-		if ns := float64(time.Since(t0).Nanoseconds()); ns < fftNS {
+		if ns := float64(time.Since(t0).Nanoseconds()); ns < fftNS { //yield:allow(determinism) timing readback of the calibration stopwatch
 			fftNS = ns
 		}
 	}

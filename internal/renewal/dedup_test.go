@@ -2,6 +2,8 @@ package renewal
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 	"sync"
 	"testing"
 
@@ -215,6 +217,39 @@ func TestSweepCacheForEach(t *testing.T) {
 		fp, _ := dist.Fingerprint(law)
 		if seen[fp] != 1 {
 			t.Fatalf("fingerprint %s seen %d times: %v", fp, seen[fp], seen)
+		}
+	}
+}
+
+// ForEach promises ascending cache-key order, and the cache key starts with
+// the law fingerprint: distinct laws must come out fp-sorted, identically on
+// every traversal, so sweep-store persistence and /v1/stats cannot flap with
+// Go's randomized map iteration.
+func TestSweepCacheForEachDeterministicOrder(t *testing.T) {
+	c := NewSweepCache()
+	laws := []dist.Continuous{
+		dist.Deterministic{V: 4},
+		dist.Deterministic{V: 7},
+		dist.Exponential{Rate: 0.25},
+		dist.Exponential{Rate: 0.5},
+	}
+	wantFPs := make([]string, 0, len(laws))
+	for _, law := range laws {
+		if _, err := c.Model(law, WithStep(0.1), WithMaxWidth(40)); err != nil {
+			t.Fatal(err)
+		}
+		fp, ok := dist.Fingerprint(law)
+		if !ok {
+			t.Fatalf("law %v has no fingerprint", law)
+		}
+		wantFPs = append(wantFPs, fp)
+	}
+	sort.Strings(wantFPs)
+	for run := 0; run < 20; run++ {
+		var got []string
+		c.ForEach(func(fp string, m *Model) { got = append(got, fp) })
+		if !slices.Equal(got, wantFPs) {
+			t.Fatalf("run %d: ForEach order %v, want sorted %v", run, got, wantFPs)
 		}
 	}
 }

@@ -260,6 +260,8 @@ func (m *RowModel) EstimateRowFailureParallel(seed uint64, s Scenario, rounds, w
 // A steady-state round allocates nothing; st must not be shared between
 // goroutines. The model must be prepared before concurrent use (the
 // estimator entry points do this).
+//
+//yield:noalloc
 func (m *RowModel) Round(r *rand.Rand, s Scenario, st *RoundState) (float64, error) {
 	if m.fr == nil {
 		if err := m.Prepare(); err != nil {
@@ -274,13 +276,15 @@ func (m *RowModel) Round(r *rand.Rand, s Scenario, st *RoundState) (float64, err
 	case DirectionalAligned:
 		return m.roundDirectional(r, st, true)
 	default:
-		return 0, fmt.Errorf("rowyield: unknown scenario %d", int(s))
+		return 0, fmt.Errorf("rowyield: unknown scenario %d", int(s)) //yield:allow(noalloc) cold error path for an invalid scenario, never taken in steady state
 	}
 }
 
 // roundUncorrelated: every CNFET sees its own independent track window.
 // Row survives iff every CNFET survives:
 // P(fail | counts) = 1 - Π_i (1 - pf^{N_i}).
+//
+//yield:noalloc
 func (m *RowModel) roundUncorrelated(r *rand.Rand) float64 {
 	logSurv := 0.0
 	for i := 0; i < m.nFETs; i++ {
@@ -309,6 +313,8 @@ func (m *RowModel) roundUncorrelated(r *rand.Rand) float64 {
 // nFETs categorical draws it samples the per-offset FET counts exactly via
 // the sequential-binomial factorization of the multinomial — a handful of
 // uniforms — and evaluates one interval per occupied offset.
+//
+//yield:noalloc
 func (m *RowModel) roundDirectional(r *rand.Rand, st *RoundState, aligned bool) (float64, error) {
 	if aligned {
 		st.tracks = m.sampleTracksInto(r, m.WidthNM, st.tracks[:0])
@@ -316,7 +322,7 @@ func (m *RowModel) roundDirectional(r *rand.Rand, st *RoundState, aligned bool) 
 		if iv.Empty() {
 			return 1, nil // a CNFET with zero tracks fails with certainty
 		}
-		st.intervals = append(st.intervals[:0], iv)
+		st.intervals = append(st.intervals[:0], iv) //yield:allow(noalloc) appends into NewRoundState's pre-sized scratch; grows only until the model's interval population is covered
 		return exactRowFailureInto(st, st.intervals, len(st.tracks), m.PerCNTFailure)
 	}
 	st.tracks = m.sampleTracksInto(r, m.WidthNM+m.offSpan, st.tracks[:0])
@@ -349,7 +355,7 @@ func (m *RowModel) roundDirectional(r *rand.Rand, st *RoundState, aligned bool) 
 			return 1, nil // a CNFET with zero tracks fails with certainty
 		}
 		if st.seen.add(iv) {
-			st.intervals = append(st.intervals, iv)
+			st.intervals = append(st.intervals, iv) //yield:allow(noalloc) appends into NewRoundState's pre-sized scratch; grows only until the model's interval population is covered
 		}
 	}
 	return exactRowFailureInto(st, st.intervals, len(st.tracks), m.PerCNTFailure)
@@ -358,6 +364,8 @@ func (m *RowModel) roundDirectional(r *rand.Rand, st *RoundState, aligned bool) 
 // binomialSample draws Bin(n, p) exactly by CDF inversion from a single
 // uniform; when the zero term underflows (enormous n·p) it falls back to
 // counting n Bernoulli draws, which is exact at any size.
+//
+//yield:noalloc
 func binomialSample(r *rand.Rand, n int, p float64) int {
 	if p <= 0 || n <= 0 {
 		return 0
@@ -390,16 +398,20 @@ func binomialSample(r *rand.Rand, n int, p float64) int {
 // sampleTracksInto realizes stationary renewal track positions over
 // [0, span) into the provided buffer: the first gap follows the exact
 // forward-recurrence law, later gaps the pitch law.
+//
+//yield:noalloc
 func (m *RowModel) sampleTracksInto(r *rand.Rand, span float64, tracks []float64) []float64 {
 	y := m.sampleFirst(r)
 	for y < span {
-		tracks = append(tracks, y)
+		tracks = append(tracks, y) //yield:allow(noalloc) appends into NewRoundState's pre-sized track buffer; capacity stops growing once it covers the realized span
 		y += m.samplePitch(r)
 	}
 	return tracks
 }
 
 // countInWindow samples the CNT count of one independent window of width w.
+//
+//yield:noalloc
 func (m *RowModel) countInWindow(r *rand.Rand, w float64) int {
 	n := 0
 	y := m.sampleFirst(r)

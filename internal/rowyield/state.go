@@ -151,6 +151,8 @@ func (m *RowModel) NewRoundState() *RoundState {
 // `scale` factored out of the buffer. The per-track cost is O(1) plus the
 // width of the run range an ending interval kills, so a realization costs
 // O(nTracks + total killed range) instead of O(nTracks × maxLen).
+//
+//yield:noalloc
 func exactRowFailureInto(st *RoundState, intervals []Interval, nTracks int, pf float64) (float64, error) {
 	if err := validateRowFailureArgs(nTracks, pf); err != nil {
 		return 0, err
@@ -159,7 +161,7 @@ func exactRowFailureInto(st *RoundState, intervals []Interval, nTracks int, pf f
 	// (0 = none). The shortest is binding: a failure run of that length
 	// kills the row.
 	if cap(st.minLenEnd) < nTracks {
-		st.minLenEnd = make([]int32, nTracks)
+		st.minLenEnd = make([]int32, nTracks) //yield:allow(noalloc) capacity-miss fallback; NewRoundState pre-sizes this so steady-state rounds never take it
 	}
 	minLenEnd := st.minLenEnd[:nTracks]
 	for i := range minLenEnd {
@@ -172,7 +174,7 @@ func exactRowFailureInto(st *RoundState, intervals []Interval, nTracks int, pf f
 			return 1, nil
 		}
 		if iv.Lo < 0 || iv.Hi >= nTracks {
-			return 0, fmt.Errorf("rowyield: interval [%d,%d] outside track range [0,%d)", iv.Lo, iv.Hi, nTracks)
+			return 0, fmt.Errorf("rowyield: interval [%d,%d] outside track range [0,%d)", iv.Lo, iv.Hi, nTracks) //yield:allow(noalloc) cold error path guarding caller bugs, never taken in steady state
 		}
 		l := iv.Len()
 		if l > maxLen {
@@ -203,7 +205,7 @@ func exactRowFailureInto(st *RoundState, intervals []Interval, nTracks int, pf f
 		ringCap <<= 1
 	}
 	if cap(st.ring) < ringCap {
-		st.ring = make([]float64, ringCap)
+		st.ring = make([]float64, ringCap) //yield:allow(noalloc) capacity-miss fallback; NewRoundState pre-sizes this so steady-state rounds never take it
 	}
 	ring := st.ring[:ringCap]
 	for i := range ring {

@@ -135,7 +135,7 @@ func (m *metricsRegistry) write(w http.ResponseWriter, snap promSnapshot) {
 	b.WriteString("# TYPE yieldserver_uptime_seconds gauge\n")
 	fmt.Fprintf(&b, "yieldserver_uptime_seconds %g\n", snap.uptimeSeconds)
 
-	_, _ = io.WriteString(w, b.String())
+	_, _ = io.WriteString(w, b.String()) //yield:allow(errenvelope) /metrics speaks the Prometheus text exposition format, not the JSON envelope
 }
 
 // withMetrics records every request's route, status and latency.
