@@ -9,6 +9,13 @@
 // target — and therefore where the uncorrelated-growth yield strategy
 // collapses and the paper's correlation co-optimization becomes mandatory.
 //
+// The final query steps past the sweep into the deep tail: a non-aligned
+// 270 nm row failure probability around 10⁻¹⁴, requested by relative-error
+// target (MCMethod "auto" + RelErrTarget, DESIGN.md §8) rather than by a
+// hard-coded round count. Expect a Wmin table over the 12 sweep points, the
+// MRmin = 360 relax-factor comparison, one "deep tail … pRF = 1.7e-14
+// (rel err ≤10%)" line, and the sweep-cache stats.
+//
 //	go run ./examples/design_space
 package main
 
@@ -70,8 +77,21 @@ func main() {
 		base.WminNM, relaxed.Wmin.WminNM)
 	fmt.Println("row correlation + aligned actives (relax factor MRmin = 360, Eq. 3.1/3.2)")
 
+	// Where the design space leaves plain Monte Carlo behind: the relax
+	// factor rests on correlated row-failure probabilities that live in the
+	// deep tail. Instead of hard-coding a round budget and hoping it
+	// converges, ask for a relative error — the rare-event engine
+	// (DESIGN.md §8) picks the estimator and runs until it gets there.
+	deep := mustEval(session, yieldlab.QuerySpec{
+		Kind: "rowyield", Scenario: "unaligned", WidthNM: 270,
+		MCMethod: "auto", RelErrTarget: 0.1,
+	})
+	ry := deep.RowYield
+	fmt.Printf("\ndeep tail, non-aligned 270 nm row (method %q): pRF = %.2e (rel err %.0f%%, %d rounds)\n",
+		ry.MCMethod, ry.PRF, ry.RelErr*100, ry.Rounds)
+
 	st := session.Cache().Stats()
-	fmt.Printf("\nsweep cache: %d model(s), %d sweep(s), %d hit(s) for 13 queries\n",
+	fmt.Printf("\nsweep cache: %d model(s), %d sweep(s), %d hit(s) for 14 queries\n",
 		st.Entries, st.Sweeps, st.Hits)
 }
 

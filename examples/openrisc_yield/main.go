@@ -3,10 +3,19 @@
 // distribution, the yield-driven sizing threshold, and what the upsizing
 // costs in gate capacitance across technology nodes.
 //
+// The row-level cross-check at the end uses the rare-event engine
+// (DESIGN.md §8): instead of hard-coding a Monte Carlo round count, it asks
+// for the non-aligned row failure at the sized width to a 5 % relative
+// error (MCMethod "auto" + RelErrTarget) and prints the estimator the
+// engine selected. Expect the width histogram summary, the Eq. 2.5 budget,
+// the two Wmin solutions, a "row failure at Wmin … pRF ≈ 4e-8 (rel err
+// ≤5%)" line, and the Fig. 2.2b penalty table.
+//
 //	go run ./examples/openrisc_yield
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,6 +57,25 @@ func main() {
 	}
 	fmt.Printf("Wmin, simplified Eq. 2.5: %.1f nm (chip yield %.4f)\n", simplified.Wmin, simplified.Yield)
 	fmt.Printf("Wmin, exact Eq. 2.4:      %.1f nm (chip yield %.4f)\n\n", exact.Wmin, exact.Yield)
+
+	// Row-level cross-check with the rare-event engine: the non-aligned
+	// correlated row failure at the sized width, resolved to a requested
+	// relative error instead of a fixed round budget. "auto" picks the
+	// estimator (tilted importance sampling in this regime) and reports it.
+	session, err := yieldlab.NewSession(yieldlab.SessionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	row, err := session.Evaluate(context.Background(), yieldlab.QuerySpec{
+		Kind: "rowyield", Scenario: "unaligned", WidthNM: simplified.Wmin,
+		MCMethod: "auto", RelErrTarget: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ry := row.RowYield
+	fmt.Printf("row failure at Wmin (non-aligned, method %q): pRF = %.2e (rel err %.1f%%, %d rounds)\n\n",
+		ry.MCMethod, ry.PRF, ry.RelErr*100, ry.Rounds)
 
 	// Upsizing cost vs technology node: widths scale, the 4 nm CNT pitch
 	// does not — the paper's Fig. 2.2b blow-up.

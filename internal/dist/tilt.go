@@ -1,0 +1,46 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tilt returns the exponential tilting of t by theta together with the
+// log-moment-generating function log M(θ) = log E[e^{θX}].
+//
+// Tilting a truncated normal multiplies its density by e^{θx}/M(θ), which
+// completes the square back into a truncated normal with the same parent
+// scale and the same truncation bounds, only the parent location shifted:
+//
+//	f_θ(x) ∝ exp(-(x-μ)²/2σ² + θx) ∝ exp(-(x-(μ+θσ²))²/2σ²)  on [L, U]
+//
+// so the tilted law is TruncNormal(μ+θσ², σ, L, U) — a first-class law that
+// flows through the fingerprint-keyed table caches (TruncNormalTableFor,
+// ForwardRecurrenceFor) like any other. The normalizer is
+//
+//	M(θ) = e^{θμ + θ²σ²/2} · Z(μ+θσ²)/Z(μ)
+//
+// with Z(m) the parent mass of [L, U] under location m; the importance
+// sampler's per-draw likelihood ratio is f(x)/f_θ(x) = M(θ)·e^{-θx}, so
+// per-round log-weights are k·log M(θ) - θ·Σxᵢ over the k tilted draws.
+//
+// Tilt fails when the tilted location pushes the truncation interval out of
+// the parent's representable mass (extreme θ).
+func (t TruncNormal) Tilt(theta float64) (TruncNormal, float64, error) {
+	if math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return TruncNormal{}, 0, fmt.Errorf("dist: tilt parameter %g must be finite", theta)
+	}
+	if !(t.Sigma > 0) {
+		return TruncNormal{}, 0, fmt.Errorf("dist: tilting needs a constructed TruncNormal")
+	}
+	if theta == 0 {
+		return t, 0, nil
+	}
+	tilted, err := NewTruncNormal(t.Mu+theta*t.Sigma*t.Sigma, t.Sigma, t.Lower, t.Upper)
+	if err != nil {
+		return TruncNormal{}, 0, fmt.Errorf("dist: tilting by %g: %w", theta, err)
+	}
+	logM := theta*t.Mu + 0.5*theta*theta*t.Sigma*t.Sigma +
+		math.Log(tilted.z) - math.Log(t.z)
+	return tilted, logM, nil
+}

@@ -3,7 +3,10 @@
 // an independently derived random stream, and merges the per-worker moment
 // accumulators. Results are reproducible from a single root seed and do not
 // depend on the worker count (each round's stream is derived from the round
-// index, not the worker).
+// index, not the worker). RunStateAdaptive adds relative-error-targeted
+// stopping on top of the same contract: the budget grows in doubling
+// blocks with per-block derived seeds, so even an adaptively stopped
+// estimate is a pure function of (seed, options, round function).
 package montecarlo
 
 import (
@@ -71,6 +74,19 @@ func RunState[S any](rounds int, newState func() S, f func(r *rand.Rand, state S
 	if rounds < 2 {
 		return Estimate{}, fmt.Errorf("montecarlo: need ≥ 2 rounds, got %d", rounds)
 	}
+	merged, err := runMerged(rounds, newState, f, opt)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Mean: merged.Mean(), StdErr: merged.StdErr(), Rounds: int(merged.N())}, nil
+}
+
+// runMerged is the engine behind RunState: it returns the batch-order-merged
+// accumulator itself, so callers composing multiple runs (the adaptive
+// runner) can keep merging exactly instead of reconstructing moments from an
+// Estimate. Accepts rounds ≥ 1 — single-round tails of an adaptive schedule
+// are meaningful once merged into a larger accumulator.
+func runMerged[S any](rounds int, newState func() S, f func(r *rand.Rand, state S) (float64, error), opt Options) (stat.Welford, error) {
 	seed := opt.Seed
 	if seed == 0 {
 		seed = rng.DefaultSeed
@@ -151,11 +167,11 @@ func RunState[S any](rounds int, newState func() S, f func(r *rand.Rand, state S
 	if failed.Load() {
 		errMu.Lock()
 		defer errMu.Unlock()
-		return Estimate{}, firstEr
+		return stat.Welford{}, firstEr
 	}
 	var merged stat.Welford
 	for b := range accs {
 		merged.Merge(accs[b])
 	}
-	return Estimate{Mean: merged.Mean(), StdErr: merged.StdErr(), Rounds: int(merged.N())}, nil
+	return merged, nil
 }

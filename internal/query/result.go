@@ -56,6 +56,18 @@ type RowYieldResult struct {
 	// StdErr and Rounds describe the Monte Carlo estimate (unaligned only).
 	StdErr float64 `json:"stderr,omitempty"`
 	Rounds int     `json:"rounds,omitempty"`
+	// MCMethod names the estimator that actually ran (adaptive runs only;
+	// an "auto" spec reports the method auto selected).
+	MCMethod string `json:"mc_method,omitempty"`
+	// RelErr is the achieved relative standard error StdErr/PRF (adaptive
+	// runs with a positive estimate only).
+	RelErr float64 `json:"rel_err,omitempty"`
+	// TiltTheta is the tilt parameter the importance sampler used (tilted
+	// runs only).
+	TiltTheta float64 `json:"tilt_theta,omitempty"`
+	// SplitLevels is the deepest severity-threshold ladder any splitting
+	// replica built (splitting runs only).
+	SplitLevels int `json:"split_levels,omitempty"`
 	// KRows and ChipYield report Eq. 3.1 when krows was requested.
 	KRows     float64 `json:"krows,omitempty"`
 	ChipYield float64 `json:"chip_yield,omitempty"`

@@ -11,6 +11,7 @@ import (
 	"github.com/cnfet/yieldlab/internal/dist"
 	"github.com/cnfet/yieldlab/internal/experiments"
 	"github.com/cnfet/yieldlab/internal/noisemargin"
+	"github.com/cnfet/yieldlab/internal/rareevent"
 	"github.com/cnfet/yieldlab/internal/renewal"
 	"github.com/cnfet/yieldlab/internal/rowyield"
 	"github.com/cnfet/yieldlab/internal/sweepstore"
@@ -325,9 +326,20 @@ func (s *Session) evalRowYield(q Spec) (*RowYieldResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A positive rel-err target or a non-plain estimator switches the
+	// unaligned scenario to adaptive stopping; Rounds then caps the run
+	// instead of fixing it. The cap is checked against MaxRowRounds on the
+	// resolved value and rejected — never clamped — because a clamped run
+	// would make the result depend on session limits the canonical spec
+	// (and hence the fingerprint/ETag identity) knows nothing about.
+	adaptive := q.RelErrTarget > 0 || (q.MCMethod != "" && q.MCMethod != "plain")
 	rounds := q.Rounds
 	if rounds == 0 {
-		rounds = DefaultRowRounds
+		if adaptive {
+			rounds = DefaultAdaptiveRounds
+		} else {
+			rounds = DefaultRowRounds
+		}
 	}
 	if s.opts.MaxRowRounds > 0 && rounds > s.opts.MaxRowRounds {
 		return nil, badRequest(fmt.Errorf("rounds %d exceeds limit %d", rounds, s.opts.MaxRowRounds))
@@ -364,6 +376,37 @@ func (s *Session) evalRowYield(q Spec) (*RowYieldResult, error) {
 		seed := q.Seed
 		if seed == 0 {
 			seed = s.params.Seed
+		}
+		if adaptive {
+			method := rareevent.Plain
+			if q.MCMethod != "" {
+				if method, err = rareevent.ParseMethod(q.MCMethod); err != nil {
+					return nil, badRequest(err)
+				}
+			}
+			target := q.RelErrTarget
+			if target == 0 {
+				target = DefaultRelErrTarget
+			}
+			est, err := rareevent.EstimateRowFailure(rm, scenario, rareevent.Options{
+				Method:       method,
+				RelErrTarget: target,
+				MaxRounds:    rounds,
+				Seed:         seed,
+				Workers:      s.params.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out.PRF, out.StdErr, out.Rounds = est.Mean, est.StdErr, est.Rounds
+			out.MCMethod = est.Method.String()
+			out.TiltTheta = est.Theta
+			out.SplitLevels = est.Levels
+			if est.Mean > 0 {
+				// JSON has no Inf; a zero estimate simply omits rel_err.
+				out.RelErr = est.RelErr()
+			}
+			break
 		}
 		est, err := rm.EstimateRowFailureParallel(seed, scenario, rounds, s.params.Workers)
 		if err != nil {

@@ -34,6 +34,7 @@ import (
 
 	"github.com/cnfet/yieldlab/internal/device"
 	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/rareevent"
 	"github.com/cnfet/yieldlab/internal/rowyield"
 	"github.com/cnfet/yieldlab/internal/tech"
 )
@@ -101,8 +102,22 @@ type Spec struct {
 	// "uncorrelated", "unaligned" or "aligned".
 	Scenario string `json:"scenario,omitempty"`
 	// Rounds is the Monte Carlo budget of the unaligned scenario
-	// (0 = DefaultRowRounds).
+	// (0 = DefaultRowRounds). Under adaptive stopping — a positive
+	// RelErrTarget or a non-plain MCMethod — it is the hard round cap
+	// instead (0 = DefaultAdaptiveRounds).
 	Rounds int `json:"rounds,omitempty"`
+	// MCMethod selects the unaligned scenario's Monte Carlo estimator:
+	// "plain" (the default exact-DP rounds), "tilted" (importance sampling
+	// by exponential tilting of the pitch law), "splitting" (multilevel
+	// splitting) or "auto" (pilot-measured best). Any non-plain method
+	// implies adaptive stopping.
+	MCMethod string `json:"mc_method,omitempty"`
+	// RelErrTarget, when positive, switches the unaligned scenario to
+	// relative-error-targeted adaptive stopping: simulation proceeds in
+	// deterministic doubling blocks until the estimate's relative standard
+	// error reaches the target or the Rounds cap is spent. Zero with a
+	// non-plain MCMethod means DefaultRelErrTarget.
+	RelErrTarget float64 `json:"rel_err_target,omitempty"`
 	// KRows, when positive, additionally reports the Eq. 3.1 chip yield
 	// (1-pRF)^KRows.
 	KRows float64 `json:"krows,omitempty"`
@@ -151,6 +166,16 @@ func (s *Sweep) empty() bool {
 // DefaultRowRounds is the Monte Carlo budget of an unaligned rowyield spec
 // that does not name one.
 const DefaultRowRounds = 2_000
+
+// DefaultAdaptiveRounds is the hard round cap of an adaptive unaligned
+// rowyield spec (one with a RelErrTarget or a non-plain MCMethod) that does
+// not name its own: large enough to reach deep-tail targets, finite so a
+// non-converging request cannot run forever.
+const DefaultAdaptiveRounds = 1 << 22
+
+// DefaultRelErrTarget is the relative-standard-error target assumed when a
+// spec selects a non-plain MCMethod without naming a target.
+const DefaultRelErrTarget = 0.05
 
 // DefaultPRM is the metallic-removal efficiency assumed by a noise spec
 // that does not name one: the paper's quoted "beyond 99.99%" requirement.
@@ -306,6 +331,15 @@ func (q Spec) Validate() error {
 		if q.Rounds != 0 && q.Rounds < 2 {
 			return wrap(fmt.Errorf("rounds %d must be ≥ 2", q.Rounds))
 		}
+		if q.MCMethod != "" {
+			if _, err := rareevent.ParseMethod(q.MCMethod); err != nil {
+				return wrap(err)
+			}
+		}
+		if q.RelErrTarget != 0 &&
+			(!(q.RelErrTarget > 0) || q.RelErrTarget > 0.5 || math.IsNaN(q.RelErrTarget)) {
+			return wrap(fmt.Errorf("rel err target %g out of (0, 0.5]", q.RelErrTarget))
+		}
 		if q.KRows < 0 || math.IsNaN(q.KRows) {
 			return wrap(fmt.Errorf("krows %g must be ≥ 0", q.KRows))
 		}
@@ -314,7 +348,8 @@ func (q Spec) Validate() error {
 				return wrap(err)
 			}
 		}
-	} else if q.Scenario != "" || len(q.Offsets) > 0 || len(q.OffsetProbs) > 0 {
+	} else if q.Scenario != "" || len(q.Offsets) > 0 || len(q.OffsetProbs) > 0 ||
+		q.MCMethod != "" || q.RelErrTarget != 0 {
 		return wrap(fmt.Errorf("scenario fields apply only to rowyield specs"))
 	}
 
@@ -447,7 +482,24 @@ func (q Spec) Canonical() (Spec, string, error) {
 	if c.RelaxFactor == 1 {
 		c.RelaxFactor = 0
 	}
-	if c.Rounds == DefaultRowRounds {
+	// "plain" is the default estimator spelled out. The Rounds default
+	// depends on the stopping mode: under adaptive stopping (a rel-err
+	// target, or a non-plain method which implies the default target)
+	// Rounds is the cap and defaults to DefaultAdaptiveRounds; otherwise it
+	// is the fixed budget and defaults to DefaultRowRounds. A non-plain
+	// method carrying the default target spelled out is the same query as
+	// one carrying none.
+	if c.MCMethod == "plain" {
+		c.MCMethod = ""
+	}
+	if c.MCMethod != "" && c.RelErrTarget == DefaultRelErrTarget {
+		c.RelErrTarget = 0
+	}
+	if c.RelErrTarget > 0 || c.MCMethod != "" {
+		if c.Rounds == DefaultAdaptiveRounds {
+			c.Rounds = 0
+		}
+	} else if c.Rounds == DefaultRowRounds {
 		c.Rounds = 0
 	}
 
@@ -455,6 +507,14 @@ func (q Spec) Canonical() (Spec, string, error) {
 	if c.Kind != KindRowYield {
 		c.Scenario, c.Rounds, c.KRows = "", 0, 0
 		c.Offsets, c.OffsetProbs = nil, nil
+		c.MCMethod, c.RelErrTarget = "", 0
+	}
+	if c.Kind == KindRowYield && c.Scenario != "" && c.Scenario != "unaligned" {
+		// The uncorrelated and aligned scenarios are closed forms: no Monte
+		// Carlo runs, so the estimator selection cannot influence the result.
+		// (Rounds and Seed keep their historical pass-through for these
+		// scenarios — zeroing them now would re-fingerprint old specs.)
+		c.MCMethod, c.RelErrTarget = "", 0
 	}
 	if c.Kind != KindNoise {
 		c.PRM, c.RatioThreshold = nil, 0
@@ -631,6 +691,8 @@ func Parse(data []byte) (Spec, error) {
 // map it to a 4xx instead of a 5xx.
 type RequestError struct{ err error }
 
+// Error returns the wrapped message unchanged: the marker adds routing
+// semantics (4xx vs 5xx), not text.
 func (e *RequestError) Error() string { return e.err.Error() }
 
 // Unwrap exposes the underlying error to errors.Is/As.

@@ -1,0 +1,531 @@
+// Package rareevent estimates deep-tail row failure probabilities — the
+// regime below ~1e-10 where the paper's high-correlation scenarios live and
+// plain Monte Carlo goes blind — as an estimator layer over the
+// zero-allocation rowyield round engine.
+//
+// Two rare-event methods are provided, both unbiased-by-construction or with
+// an explicitly documented bias (DESIGN.md §8 states the full estimator
+// contract):
+//
+//   - Tilted: importance sampling by exponential tilting of the pitch law
+//     (dist.TruncNormal.Tilt). Rounds draw sparser track realizations and
+//     return the exact conditional failure probability times an unbiased
+//     likelihood-ratio weight (rowyield.TiltedRowModel). The tilt parameter
+//     is chosen by an analytic renewal-CLT heuristic refined by a short
+//     deterministic pilot ladder.
+//   - Splitting: fixed-effort multilevel splitting over a row-failure
+//     severity function (the maximum per-window fraction of contiguously
+//     killed tracks), for laws or regimes where no useful tilt exists. Each
+//     replica is one full subset-simulation run; replicas parallelize like
+//     ordinary Monte Carlo rounds. The per-replica estimate is a product of
+//     ratio estimators and carries an O(1/population) bias, quantified by
+//     the replica scatter.
+//
+// Every method runs under relative-error-targeted adaptive stopping
+// (montecarlo.RunStateAdaptive): simulation proceeds in deterministic
+// doubling blocks until the estimate's relative standard error reaches the
+// target or a hard round cap is spent, and results stay bit-identical
+// across worker counts. Auto selects between the methods from the pilot:
+// the candidate with the lowest measured variance per round wins, falling
+// back to splitting when neither plain nor tilted rounds see any mass.
+package rareevent
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/cnfet/yieldlab/internal/dist"
+	"github.com/cnfet/yieldlab/internal/montecarlo"
+	"github.com/cnfet/yieldlab/internal/rng"
+	"github.com/cnfet/yieldlab/internal/rowyield"
+)
+
+// Method selects the rare-event estimator.
+type Method int
+
+// The estimator methods. Plain is the zero value: the exact-DP Monte Carlo
+// rounds of the base engine, unchanged except for adaptive stopping.
+const (
+	// Plain runs the base rowyield rounds under adaptive stopping.
+	Plain Method = iota
+	// Tilted runs importance-sampled rounds under the exponentially tilted
+	// pitch law with unbiased likelihood-ratio weights.
+	Tilted
+	// Splitting runs fixed-effort multilevel splitting replicas over the
+	// row-failure severity function.
+	Splitting
+	// Auto pilots plain rounds against a tilt ladder and picks the method
+	// with the lowest measured variance per round, falling back to
+	// splitting when no candidate sees any probability mass.
+	Auto
+)
+
+// String returns the spec-level method name.
+func (m Method) String() string {
+	switch m {
+	case Plain:
+		return "plain"
+	case Tilted:
+		return "tilted"
+	case Splitting:
+		return "splitting"
+	case Auto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod maps a spec-level method name ("plain", "tilted", "splitting",
+// "auto") to its Method.
+func ParseMethod(name string) (Method, error) {
+	switch name {
+	case "plain":
+		return Plain, nil
+	case "tilted":
+		return Tilted, nil
+	case "splitting":
+		return Splitting, nil
+	case "auto":
+		return Auto, nil
+	default:
+		return 0, fmt.Errorf("rareevent: unknown method %q (have plain, tilted, splitting, auto)", name)
+	}
+}
+
+// Defaults of the estimator knobs; all are overridable through Options.
+const (
+	// DefaultMaxRounds is the hard cap on simulation rounds (track
+	// realizations, or splitting states) when Options.MaxRounds is zero.
+	DefaultMaxRounds = 1 << 22
+	// DefaultPilotRounds is the per-candidate budget of the tilt-selection
+	// pilot.
+	DefaultPilotRounds = 2048
+	// DefaultPopulation is the per-replica splitting population.
+	DefaultPopulation = 1024
+	// DefaultRho is the splitting level fraction: each level's threshold is
+	// the empirical (1-Rho) severity quantile of the population.
+	DefaultRho = 0.1
+	// DefaultMoves is the number of MCMC refreshment moves applied to each
+	// resampled splitting state.
+	DefaultMoves = 4
+	// splitLevelGuess converts the round budget into a replica cap before
+	// the actual level count is known.
+	splitLevelGuess = 8
+	// maxSplitLevels bounds one replica's level ladder; at DefaultRho each
+	// level gains about one decade, so 64 levels reach far below any
+	// representable probability.
+	maxSplitLevels = 64
+)
+
+// Options configures an estimate. The zero value runs the plain method with
+// no early stopping over the default round budget.
+type Options struct {
+	// Method selects the estimator (default Plain).
+	Method Method
+	// RelErrTarget, when positive, stops the run once the estimate's
+	// relative standard error reaches it; zero spends the whole budget.
+	RelErrTarget float64
+	// MaxRounds caps total simulation rounds (0 = DefaultMaxRounds). For
+	// splitting the cap is interpreted as a state budget: replicas stop
+	// when Population·splitLevelGuess per replica would exceed it.
+	MaxRounds int
+	// MinRounds is the first adaptive block (0 = the montecarlo default;
+	// splitting uses replica-sized blocks regardless).
+	MinRounds int
+	// Seed is the root seed (0 = rng.DefaultSeed).
+	Seed uint64
+	// Workers caps parallelism (0 = NumCPU).
+	Workers int
+	// PilotRounds is the per-candidate tilt-pilot budget
+	// (0 = DefaultPilotRounds).
+	PilotRounds int
+	// Population, Rho and Moves tune the splitting replicas
+	// (0 = the package defaults).
+	Population int
+	Rho        float64
+	Moves      int
+}
+
+// withDefaults resolves zero options to the package defaults.
+func (o Options) withDefaults() Options {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = DefaultMaxRounds
+	}
+	if o.Seed == 0 {
+		o.Seed = rng.DefaultSeed
+	}
+	if o.PilotRounds < 2 {
+		o.PilotRounds = DefaultPilotRounds
+	}
+	if o.Population <= 1 {
+		o.Population = DefaultPopulation
+	}
+	if !(o.Rho > 0 && o.Rho < 1) {
+		o.Rho = DefaultRho
+	}
+	if o.Moves <= 0 {
+		o.Moves = DefaultMoves
+	}
+	return o
+}
+
+// Estimate is one rare-event estimate with its provenance: which method
+// actually ran (Auto resolves to the winner), the tilt parameter or
+// splitting shape used, and the rounds consumed (including any pilot).
+type Estimate struct {
+	// Mean and StdErr are the estimate and its standard error.
+	Mean, StdErr float64
+	// Rounds counts simulation rounds consumed: track realizations for the
+	// plain and tilted methods (pilot included), simulated states for
+	// splitting.
+	Rounds int
+	// Method is the estimator that produced the numbers; Auto reports the
+	// method it selected.
+	Method Method
+	// Theta is the tilt parameter (Tilted only).
+	Theta float64
+	// Levels and Replicas describe the splitting run (Splitting only):
+	// the deepest level ladder any replica built, and the replica count.
+	Levels, Replicas int
+}
+
+// RelErr returns StdErr/Mean (infinite for a zero mean).
+func (e Estimate) RelErr() float64 {
+	if e.Mean == 0 {
+		return math.Inf(1)
+	}
+	return e.StdErr / e.Mean
+}
+
+// EstimateRowFailure estimates pRF for a directional scenario of the
+// prepared row model. The uncorrelated scenario is rejected for the
+// rare-event methods — it has the closed form rowyield.IndependentRowFailure
+// and needs no sampling. A model with per-CNT failure zero short-circuits to
+// an exact zero.
+func EstimateRowFailure(m *rowyield.RowModel, scenario rowyield.Scenario, opt Options) (Estimate, error) {
+	if err := m.Prepare(); err != nil {
+		return Estimate{}, err
+	}
+	opt = opt.withDefaults()
+	if scenario == rowyield.UncorrelatedGrowth && opt.Method != Plain {
+		return Estimate{}, fmt.Errorf("rareevent: %v has a closed form (rowyield.IndependentRowFailure); rare-event methods apply to the directional scenarios", scenario)
+	}
+	if m.PerCNTFailure == 0 {
+		// No track ever fails: pRF is exactly zero for every scenario.
+		return Estimate{Method: Plain}, nil
+	}
+	switch opt.Method {
+	case Plain:
+		return estimatePlain(m, scenario, opt, 0)
+	case Tilted:
+		ladder, err := tiltLadder(m)
+		if err != nil {
+			return Estimate{}, err
+		}
+		theta, pilotRounds, err := bestTilt(m, scenario, ladder, opt)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if theta == 0 {
+			// No useful tilt exists (the event is not rare enough to move
+			// the law for); the plain rounds are the optimal sampler.
+			return estimatePlain(m, scenario, opt, pilotRounds)
+		}
+		return estimateTilted(m, scenario, theta, opt, pilotRounds)
+	case Splitting:
+		return estimateSplitting(m, scenario, opt, 0)
+	case Auto:
+		return estimateAuto(m, scenario, opt)
+	default:
+		return Estimate{}, fmt.Errorf("rareevent: unknown method %d", int(opt.Method))
+	}
+}
+
+// estimatePlain runs the base rounds under adaptive stopping.
+func estimatePlain(m *rowyield.RowModel, scenario rowyield.Scenario, opt Options, extraRounds int) (Estimate, error) {
+	est, err := montecarlo.RunStateAdaptive(m.NewRoundState,
+		func(r *rand.Rand, st *rowyield.RoundState) (float64, error) {
+			return m.Round(r, scenario, st)
+		}, adaptiveOptions(opt, extraRounds))
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Mean: est.Mean, StdErr: est.StdErr, Rounds: est.Rounds + extraRounds, Method: Plain}, nil
+}
+
+// estimateTilted runs importance-sampled rounds at the given tilt.
+func estimateTilted(m *rowyield.RowModel, scenario rowyield.Scenario, theta float64, opt Options, extraRounds int) (Estimate, error) {
+	tm, err := m.Tilted(theta)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est, err := montecarlo.RunStateAdaptive(tm.NewRoundState,
+		func(r *rand.Rand, st *rowyield.RoundState) (float64, error) {
+			return tm.Round(r, scenario, st)
+		}, adaptiveOptions(opt, extraRounds))
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Mean: est.Mean, StdErr: est.StdErr, Rounds: est.Rounds + extraRounds, Method: Tilted, Theta: theta}, nil
+}
+
+// adaptiveOptions maps Options onto the montecarlo adaptive runner,
+// docking any rounds already spent (pilots) from the hard cap.
+func adaptiveOptions(opt Options, spent int) montecarlo.AdaptiveOptions {
+	budget := opt.MaxRounds - spent
+	if budget < 2 {
+		budget = 2
+	}
+	return montecarlo.AdaptiveOptions{
+		Options:      montecarlo.Options{Seed: opt.Seed, Workers: opt.Workers},
+		RelErrTarget: opt.RelErrTarget,
+		MaxRounds:    budget,
+		MinRounds:    opt.MinRounds,
+	}
+}
+
+// estimateAuto pilots plain rounds against the tilt ladder and dispatches to
+// the measured winner; when no candidate sees probability mass the event is
+// too deep for direct sampling and splitting takes over.
+//
+// The plain candidate is not judged by its own pilot alone. The conditional
+// estimator's p-distribution is heavy-tailed in the deep tail — the rare
+// realizations that dominate E[p²] are the ones a short plain run never
+// visits — so a plain pilot's Welford variance collapses spuriously and
+// would win every comparison exactly where plain sampling is least
+// trustworthy. Auto therefore prices the plain candidate at the larger of
+// its self-measured relative variance and the tilt-measured one
+// (E[p²]/E[p]² − 1 with E[p²] estimated under the best tilted candidate via
+// rowyield.TiltedRowModel.Moments, which is unbiased for the base law's
+// second moment).
+func estimateAuto(m *rowyield.RowModel, scenario rowyield.Scenario, opt Options) (Estimate, error) {
+	ladder, lerr := tiltLadder(m)
+	if lerr != nil {
+		ladder = nil // non-tiltable pitch law: auto degrades to plain vs splitting
+	}
+	plain, err := runPilot(m, scenario, 0, 0, opt)
+	if err != nil {
+		return Estimate{}, err
+	}
+	spent := plain.rounds
+	best := pilotResult{relvar: math.Inf(1)}
+	for i, theta := range ladder {
+		p, err := runPilot(m, scenario, theta, i+1, opt)
+		if err != nil {
+			return Estimate{}, err
+		}
+		spent += p.rounds
+		if p.relvar < best.relvar {
+			best = p
+		}
+	}
+	plainRelvar := plain.relvar
+	if !math.IsInf(best.relvar, 1) && best.mean > 0 {
+		m2, rounds, err := runSecondMomentPilot(m, scenario, best.theta, len(ladder)+1, opt)
+		if err != nil {
+			return Estimate{}, err
+		}
+		spent += rounds
+		truePlain := math.Inf(1)
+		if m2 > 0 {
+			truePlain = m2/(best.mean*best.mean) - 1
+		}
+		if truePlain > plainRelvar {
+			plainRelvar = truePlain
+		}
+	}
+	switch {
+	case best.relvar < plainRelvar:
+		return estimateTilted(m, scenario, best.theta, opt, spent)
+	case !math.IsInf(plainRelvar, 1):
+		return estimatePlain(m, scenario, opt, spent)
+	default:
+		return estimateSplitting(m, scenario, opt, spent)
+	}
+}
+
+// runSecondMomentPilot estimates the base law's second moment E[p²] of the
+// conditional failure probability by averaging p²·W over tilted
+// realizations at tilt theta. Returns the estimate and the rounds spent.
+func runSecondMomentPilot(m *rowyield.RowModel, scenario rowyield.Scenario, theta float64, idx int, opt Options) (float64, int, error) {
+	tm, err := m.Tilted(theta)
+	if err != nil {
+		return 0, 0, err
+	}
+	est, err := montecarlo.RunState(opt.PilotRounds, tm.NewRoundState,
+		func(r *rand.Rand, st *rowyield.RoundState) (float64, error) {
+			_, p2w, err := tm.Moments(r, scenario, st)
+			return p2w, err
+		}, montecarlo.Options{Seed: pilotSeed(opt.Seed, idx), Workers: opt.Workers})
+	if err != nil {
+		return 0, 0, err
+	}
+	return est.Mean, est.Rounds, nil
+}
+
+// bestTilt pilots the candidate ladder and returns the measured-best tilt
+// parameter plus the pilot rounds spent. An empty ladder, or a ladder whose
+// pilots all score +Inf while θ* itself is absent, yields theta 0 (plain
+// rounds); when every pilot misses the event entirely the analytic θ*
+// (the ladder's third rung) is trusted outright — it was chosen to center
+// the sampler on the dominant failure point, and a deeper event only makes
+// the un-tilted alternative worse.
+func bestTilt(m *rowyield.RowModel, scenario rowyield.Scenario, ladder []float64, opt Options) (float64, int, error) {
+	best := pilotResult{relvar: math.Inf(1)}
+	spent := 0
+	for i, theta := range ladder {
+		p, err := runPilot(m, scenario, theta, i+1, opt)
+		if err != nil {
+			return 0, 0, err
+		}
+		spent += p.rounds
+		if p.relvar < best.relvar {
+			best = p
+		}
+	}
+	if math.IsInf(best.relvar, 1) && len(ladder) >= 3 {
+		return ladder[2], spent, nil
+	}
+	return best.theta, spent, nil
+}
+
+// pilotResult is one tilt-pilot measurement: the per-round relative variance
+// Var/Mean² is the figure of merit (rounds-to-target scales linearly in it);
+// candidates that saw no mass score +Inf.
+type pilotResult struct {
+	theta  float64
+	mean   float64
+	relvar float64
+	rounds int
+}
+
+// runPilot measures one candidate tilt (theta 0 = plain rounds) over the
+// pilot budget with its own derived stream, deterministically.
+func runPilot(m *rowyield.RowModel, scenario rowyield.Scenario, theta float64, idx int, opt Options) (pilotResult, error) {
+	round := m.Round
+	newState := m.NewRoundState
+	if theta != 0 {
+		tm, err := m.Tilted(theta)
+		if err != nil {
+			return pilotResult{}, err
+		}
+		round = tm.Round
+		newState = tm.NewRoundState
+	}
+	est, err := montecarlo.RunState(opt.PilotRounds, newState,
+		func(r *rand.Rand, st *rowyield.RoundState) (float64, error) {
+			return round(r, scenario, st)
+		}, montecarlo.Options{Seed: pilotSeed(opt.Seed, idx), Workers: opt.Workers})
+	if err != nil {
+		return pilotResult{}, err
+	}
+	res := pilotResult{theta: theta, mean: est.Mean, relvar: math.Inf(1), rounds: est.Rounds}
+	if est.Mean > 0 {
+		n := float64(est.Rounds)
+		res.relvar = est.StdErr * est.StdErr * n / (est.Mean * est.Mean)
+	}
+	return res, nil
+}
+
+// pilotSeed derives the pilot stream for candidate idx, decorrelated from
+// the main run's adaptive block seeds by a distinct mixing constant.
+func pilotSeed(seed uint64, idx int) uint64 {
+	return rng.SplitMix64(seed ^ 0x9120_7EED ^ rng.SplitMix64(uint64(idx)*0x9E3779B97F4A7C15+0xBF58476D1CE4E5B9))
+}
+
+// tiltLadder returns the candidate tilt parameters around the analytic
+// heuristic θ*, or nil when no useful positive tilt exists.
+func tiltLadder(m *rowyield.RowModel) ([]float64, error) {
+	thetaStar, err := analyticTheta(m)
+	if err != nil {
+		return nil, err
+	}
+	if thetaStar <= 0 {
+		return nil, nil
+	}
+	return []float64{0.5 * thetaStar, 0.75 * thetaStar, thetaStar, 1.25 * thetaStar}, nil
+}
+
+// analyticTheta solves the renewal-CLT dominant-point heuristic for the tilt
+// parameter: the per-window track count N(W) is approximately normal with
+// mean n₀ = W/μ and variance v = Wσ²/μ³, so the integrand pf^n·P(N=n) of a
+// window's failure probability peaks at n* ≈ n₀ + v·ln pf. The heuristic
+// tilts the pitch law until its post-truncation mean is W/n* — centering the
+// sampler on the dominant failure count — and the pilot ladder around θ*
+// absorbs the heuristic's normal-approximation error.
+func analyticTheta(m *rowyield.RowModel) (float64, error) {
+	var tn dist.TruncNormal
+	switch p := m.Pitch.(type) {
+	case dist.TruncNormal:
+		tn = p
+	case *dist.TruncNormal:
+		tn = *p
+	default:
+		return 0, fmt.Errorf("rareevent: tilting requires a truncated-normal pitch law, have %T", m.Pitch)
+	}
+	pf := m.PerCNTFailure
+	if pf <= 0 || pf >= 1 {
+		return 0, nil
+	}
+	mu, sd, w := tn.Mean(), tn.StdDev(), m.WidthNM
+	if !(mu > 0) || !(sd > 0) || !(w > 0) {
+		return 0, nil
+	}
+	n0 := w / mu
+	v := w * sd * sd / (mu * mu * mu)
+	nStar := n0 + v*math.Log(pf)
+	if nStar < 1 {
+		nStar = 1
+	}
+	if nStar >= 0.95*n0 {
+		return 0, nil // the tilt would barely move the law; plain sampling is fine
+	}
+	muTarget := w / nStar
+
+	// The tilted post-truncation mean is strictly increasing in θ; bracket
+	// geometrically from the untruncated-normal slope dMean/dθ ≈ σ² and
+	// bisect. Tilt errors past the bracket (θ beyond representable mass)
+	// stop the expansion at the last good point.
+	excess := func(theta float64) (float64, bool) {
+		t, _, err := tn.Tilt(theta)
+		if err != nil {
+			return 0, false
+		}
+		return t.Mean() - muTarget, true
+	}
+	hi := (muTarget - mu) / (tn.Sigma * tn.Sigma)
+	if !(hi > 0) {
+		return 0, nil
+	}
+	for i := 0; ; i++ {
+		e, ok := excess(hi)
+		if ok && e >= 0 {
+			break
+		}
+		if !ok || i > 60 {
+			// Never bracketed: use the largest tiltable θ found.
+			hi /= 2
+			if !(hi > 0) {
+				return 0, nil
+			}
+			if _, ok := excess(hi); ok {
+				return hi, nil
+			}
+			continue
+		}
+		hi *= 2
+	}
+	lo := 0.0
+	for i := 0; i < 80; i++ {
+		mid := 0.5 * (lo + hi)
+		e, ok := excess(mid)
+		if !ok || e > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}

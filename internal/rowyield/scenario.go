@@ -318,14 +318,35 @@ func (m *RowModel) roundUncorrelated(r *rand.Rand) float64 {
 func (m *RowModel) roundDirectional(r *rand.Rand, st *RoundState, aligned bool) (float64, error) {
 	if aligned {
 		st.tracks = m.sampleTracksInto(r, m.WidthNM, st.tracks[:0])
-		iv := windowInterval(st.tracks, 0, m.WidthNM)
-		if iv.Empty() {
-			return 1, nil // a CNFET with zero tracks fails with certainty
-		}
-		st.intervals = append(st.intervals[:0], iv) //yield:allow(noalloc) appends into NewRoundState's pre-sized scratch; grows only until the model's interval population is covered
-		return exactRowFailureInto(st, st.intervals, len(st.tracks), m.PerCNTFailure)
+		return m.alignedFromTracks(st)
 	}
 	st.tracks = m.sampleTracksInto(r, m.WidthNM+m.offSpan, st.tracks[:0])
+	return m.unalignedFromTracks(r, st)
+}
+
+// alignedFromTracks finishes an aligned round on the realization already in
+// st.tracks: the single shared window's exact conditional failure
+// probability. Split out of roundDirectional so the importance-sampled
+// rounds (TiltedRowModel) share the evaluation half verbatim and can only
+// differ in how the realization was drawn.
+//
+//yield:noalloc
+func (m *RowModel) alignedFromTracks(st *RoundState) (float64, error) {
+	iv := windowInterval(st.tracks, 0, m.WidthNM)
+	if iv.Empty() {
+		return 1, nil // a CNFET with zero tracks fails with certainty
+	}
+	st.intervals = append(st.intervals[:0], iv) //yield:allow(noalloc) appends into NewRoundState's pre-sized scratch; grows only until the model's interval population is covered
+	return exactRowFailureInto(st, st.intervals, len(st.tracks), m.PerCNTFailure)
+}
+
+// unalignedFromTracks finishes an unaligned round on the realization already
+// in st.tracks: sample per-offset CNFET counts, dedup the occupied windows,
+// run the exact interval DP. Shared by the plain and importance-sampled
+// rounds; r only feeds the offset draws.
+//
+//yield:noalloc
+func (m *RowModel) unalignedFromTracks(r *rand.Rand, st *RoundState) (float64, error) {
 	st.intervals = st.intervals[:0]
 	st.seen.reset()
 	n := m.nFETs

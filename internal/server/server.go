@@ -61,7 +61,11 @@ const (
 	DefaultConcurrentJobs = 2
 	DefaultBatchLimit     = 4096
 	DefaultRowRounds      = query.DefaultRowRounds
-	DefaultMaxRowRounds   = 50_000
+	// DefaultMaxRowRounds covers the adaptive estimators' default round cap:
+	// a rare-event request that names no explicit budget resolves to
+	// query.DefaultAdaptiveRounds, and the limit must not reject the
+	// service's own default.
+	DefaultMaxRowRounds = query.DefaultAdaptiveRounds
 )
 
 // Config configures a Server.
@@ -530,6 +534,13 @@ func (s *Server) handleRowYield(w http.ResponseWriter, r *http.Request) {
 		if spec.Rounds > s.cfg.MaxRowRounds {
 			writeError(w, http.StatusBadRequest,
 				fmt.Errorf("rounds %d exceeds limit %d", spec.Rounds, s.cfg.MaxRowRounds))
+			return
+		}
+	}
+	spec.MCMethod = q.Get("mc_method")
+	if v := q.Get("rel_err"); v != "" {
+		if spec.RelErrTarget, err = parseFloat("rel_err", v); err != nil {
+			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 	}

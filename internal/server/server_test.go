@@ -514,3 +514,40 @@ func TestConcurrentRequestDedup(t *testing.T) {
 		t.Fatalf("sweeps = %d, want 1 (deduplicated)", st.Sweeps)
 	}
 }
+
+func TestRowYieldRareEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the placed design")
+	}
+	_, ts := newTestServer(t, Config{})
+	var out RowYieldJSON
+	code := getJSON(t, ts.URL+"/v1/rowyield?scenario=unaligned&width=120&mc_method=tilted&rel_err=0.2", &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.MCMethod != "tilted" || out.TiltTheta == 0 {
+		t.Fatalf("estimator echo missing: %+v", out)
+	}
+	if !(out.RelErr > 0) || out.RelErr > 0.2 {
+		t.Fatalf("achieved rel err %g missed the 0.2 target: %+v", out.RelErr, out)
+	}
+	if out.Rounds <= 0 || !(out.PRF > 0) {
+		t.Fatalf("estimate = %+v", out)
+	}
+	if code := getJSON(t, ts.URL+"/v1/rowyield?scenario=unaligned&width=120&mc_method=sideways", nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown method: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/rowyield?scenario=unaligned&width=120&rel_err=2", nil); code != http.StatusBadRequest {
+		t.Fatalf("rel err out of range: status %d", code)
+	}
+	// Estimator knobs on a scenario that never runs Monte Carlo are inert
+	// for the result but must not fail the request (canonicalization
+	// drops them; the cached aligned entry is shared).
+	var aligned RowYieldJSON
+	if code := getJSON(t, ts.URL+"/v1/rowyield?scenario=aligned&width=155&mc_method=tilted", &aligned); code != http.StatusOK {
+		t.Fatalf("aligned with estimator knobs: status %d", code)
+	}
+	if aligned.MCMethod != "" || aligned.Rounds != 0 {
+		t.Fatalf("aligned result leaked estimator metadata: %+v", aligned)
+	}
+}
