@@ -27,9 +27,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"github.com/cnfet/yieldlab"
+	"github.com/cnfet/yieldlab/internal/obs"
 )
 
 func main() {
@@ -51,6 +53,9 @@ func run() error {
 		workers   = flag.Int("workers", 0, "Monte Carlo workers (0 = NumCPU)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut  = flag.String("trace", "", "for -spec runs: write the evaluation span tree to this file (Chrome trace_event JSON, loadable in about:tracing / Perfetto)")
+		slowN     = flag.Int("slowlog", 0, "for -spec runs: print the N slowest specs with their stage breakdown to stderr")
+		version   = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -60,6 +65,16 @@ func run() error {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *version {
+		info := yieldlab.GetBuildInfo()
+		fmt.Printf("cnfetyield %s", yieldlab.Version())
+		if info.BuildTime != "" {
+			fmt.Printf(" (built %s)", info.BuildTime)
+		}
+		fmt.Printf(" %s\n", info.GoVersion)
+		return nil
+	}
 
 	stopProfiles, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -83,7 +98,10 @@ func run() error {
 		if flag.NArg() != 0 {
 			return fmt.Errorf("-spec takes no experiment argument, got %v", flag.Args())
 		}
-		return runSpec(*specFile, *storeDir, params)
+		return runSpec(*specFile, *storeDir, params, *traceOut, *slowN)
+	}
+	if *traceOut != "" || *slowN > 0 {
+		return fmt.Errorf("-trace and -slowlog require -spec")
 	}
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -131,7 +149,11 @@ func run() error {
 
 // runSpec evaluates a QuerySpec file through the same Session the server
 // uses, streaming sweep progress to stderr and the result JSON to stdout.
-func runSpec(path, storeDir string, params yieldlab.Params) error {
+// With -trace or -slowlog the evaluation runs under an obs.Tracer: results
+// then carry their CostBreakdown, the span tree can be written as Chrome
+// trace_event JSON, and the slowest specs can be summarized on stderr.
+// Tracing never changes the computed numbers.
+func runSpec(path, storeDir string, params yieldlab.Params, traceOut string, slowN int) error {
 	var data []byte
 	var err error
 	if path == "-" {
@@ -158,7 +180,14 @@ func runSpec(path, storeDir string, params yieldlab.Params) error {
 	if err != nil {
 		return err
 	}
-	results, err := session.EvaluateAllFunc(context.Background(), spec,
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if traceOut != "" || slowN > 0 {
+		tracer = obs.New()
+		tracer.EnableCost()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	results, err := session.EvaluateAllFunc(ctx, spec,
 		func(done, total int, r yieldlab.QueryResult) {
 			if total > 1 {
 				fmt.Fprintf(os.Stderr, "spec %d/%d done (%s)\n", done, total, r.Fingerprint)
@@ -170,9 +199,55 @@ func runSpec(path, storeDir string, params yieldlab.Params) error {
 	if cerr := session.Close(); cerr != nil {
 		return cerr
 	}
+	if traceOut != "" {
+		if err := writeTrace(traceOut, tracer); err != nil {
+			return err
+		}
+	}
+	if slowN > 0 {
+		printSlowest(os.Stderr, tracer, slowN)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// writeTrace saves the tracer's span tree as Chrome trace_event JSON.
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteTraceEvents(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote trace to %s\n", path)
+	return nil
+}
+
+// printSlowest summarizes the n slowest evaluations (tracer root spans)
+// with their per-stage breakdown — the CLI's answer to /debug/slowlog.
+func printSlowest(w io.Writer, tracer *obs.Tracer, n int) {
+	roots := tracer.Roots()
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Duration() > roots[j].Duration() })
+	if n > len(roots) {
+		n = len(roots)
+	}
+	fmt.Fprintf(w, "slowest %d of %d specs:\n", n, len(roots))
+	for _, root := range roots[:n] {
+		fp := ""
+		if v, ok := root.AttrValue("fingerprint"); ok {
+			fp, _ = v.(string)
+		}
+		fmt.Fprintf(w, "  %8.2fms  %s\n", float64(root.Duration().Microseconds())/1e3, fp)
+		for _, st := range obs.Stages(root)[1:] {
+			fmt.Fprintf(w, "    %8.2fms  %s\n", st.MS, st.Name)
+		}
+	}
 }
 
 // startProfiles begins CPU profiling and/or arms a heap snapshot, so the

@@ -1,8 +1,9 @@
 // doccheck fails the build when an exported identifier in the audited
 // packages lacks a doc comment. The public estimator surface (internal/query,
-// internal/rareevent) carries a documented contract — DESIGN.md §8 leans on
-// the godoc of those packages — so an undocumented export there is a docs
-// regression, not a style nit. CI runs it from the docs job.
+// internal/rareevent) and the observability layer (internal/obs) carry a
+// documented contract — DESIGN.md §8 and §9 lean on the godoc of those
+// packages — so an undocumented export there is a docs regression, not a
+// style nit. CI runs it from the docs job.
 //
 // Usage:
 //
@@ -27,7 +28,7 @@ import (
 
 // defaultDirs is the audited surface: the packages whose godoc the design
 // documents point at.
-var defaultDirs = []string{"internal/query", "internal/rareevent"}
+var defaultDirs = []string{"internal/query", "internal/rareevent", "internal/obs"}
 
 func main() {
 	dirs := os.Args[1:]

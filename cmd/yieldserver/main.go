@@ -15,6 +15,10 @@
 //
 // With -pprof the net/http/pprof endpoints are mounted at /debug/pprof on
 // the service port, so hot paths can be profiled in situ.
+//
+// Every request gets an X-Request-ID and a structured (slog) log line;
+// requests slower than -slowlog-threshold are retained in a fixed-size ring
+// served at /debug/slowlog with their per-stage cost breakdown.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -54,8 +59,20 @@ func run() error {
 		workers   = flag.Int("workers", 0, "worker goroutines for jobs and Monte Carlo (0 = NumCPU)")
 		calibrate = flag.Bool("calibrate", true, "measure the FFT/direct convolution crossover at startup")
 		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof profiling endpoints")
+		slowCap   = flag.Int("slowlog-entries", 0, "slow-query ring capacity for /debug/slowlog (0 = default 64)")
+		slowThr   = flag.Duration("slowlog-threshold", 25*time.Millisecond, "record requests at least this slow in /debug/slowlog (0 = record every request)")
+		version   = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
+	if *version {
+		info := yieldlab.GetBuildInfo()
+		fmt.Printf("yieldserver %s", yieldlab.Version())
+		if info.BuildTime != "" {
+			fmt.Printf(" (built %s)", info.BuildTime)
+		}
+		fmt.Printf(" %s\n", info.GoVersion)
+		return nil
+	}
 	if flag.NArg() != 0 {
 		flag.Usage()
 		return fmt.Errorf("unexpected arguments: %v", flag.Args())
@@ -74,10 +91,18 @@ func run() error {
 	params.Workers = *workers
 
 	cfg := yieldlab.ServerConfig{
-		Params:         params,
-		CacheEntries:   *cacheCap,
-		MaxJobs:        *maxJobs,
-		ConcurrentJobs: *jobs,
+		Params:           params,
+		CacheEntries:     *cacheCap,
+		MaxJobs:          *maxJobs,
+		ConcurrentJobs:   *jobs,
+		Logger:           slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		SlowLogEntries:   *slowCap,
+		SlowLogThreshold: *slowThr,
+	}
+	if *slowThr == 0 {
+		// An explicit zero means "record everything": the Config field treats
+		// zero as "use the default threshold", so map it to negative here.
+		cfg.SlowLogThreshold = -1
 	}
 	if *storeDir != "" {
 		store, err := yieldlab.OpenSweepStore(*storeDir)

@@ -1,0 +1,80 @@
+// Package buildinfo reports what binary is running: the module version,
+// the VCS revision it was built from, and whether the working tree was
+// dirty — all read from the build metadata the Go toolchain already embeds
+// (runtime/debug.ReadBuildInfo), so nothing depends on ldflags being set.
+// It backs yieldlab.Version(), /healthz, the /metrics build_info gauge and
+// cnfetyield -version.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// Info describes the running binary.
+type Info struct {
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit the binary was built from, when stamped.
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes in the build's working tree.
+	Dirty bool `json:"dirty,omitempty"`
+	// BuildTime is the VCS commit time (RFC 3339), when stamped.
+	BuildTime string `json:"build_time,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get returns the binary's build info, read once and cached.
+func Get() Info {
+	once.Do(func() {
+		cached = Info{Version: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		cached.GoVersion = bi.GoVersion
+		if bi.Main.Version != "" {
+			cached.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				cached.Revision = s.Value
+			case "vcs.modified":
+				cached.Dirty = s.Value == "true"
+			case "vcs.time":
+				cached.BuildTime = s.Value
+			}
+		}
+	})
+	return cached
+}
+
+// Version returns a one-line human version string: the module version,
+// refined with the short revision and a -dirty marker when the VCS stamp
+// is present. Toolchains that stamp a VCS pseudo-version already encode
+// the revision (and "+dirty") in Version itself; those markers are not
+// appended twice.
+func Version() string {
+	info := Get()
+	v := info.Version
+	if rev := info.Revision; rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if !strings.Contains(v, rev) {
+			v += "+" + rev
+		}
+	}
+	if info.Dirty && !strings.Contains(v, "dirty") {
+		v += "-dirty"
+	}
+	return v
+}

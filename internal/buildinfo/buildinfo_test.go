@@ -1,0 +1,36 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetIsStableAndPopulated(t *testing.T) {
+	a, b := Get(), b2()
+	if a != b {
+		t.Fatalf("Get not cached: %+v vs %+v", a, b)
+	}
+	if a.Version == "" {
+		t.Fatal("empty version")
+	}
+	// Test binaries always embed the toolchain version.
+	if a.GoVersion == "" {
+		t.Fatal("empty go version")
+	}
+}
+
+func b2() Info { return Get() }
+
+func TestVersionString(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("empty version string")
+	}
+	info := Get()
+	if !strings.HasPrefix(v, info.Version) {
+		t.Fatalf("version %q does not start with module version %q", v, info.Version)
+	}
+	if info.Revision != "" && !strings.Contains(v, "+") {
+		t.Fatalf("version %q lacks revision suffix despite VCS stamp", v)
+	}
+}

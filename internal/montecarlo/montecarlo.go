@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/cnfet/yieldlab/internal/obs"
 	"github.com/cnfet/yieldlab/internal/rng"
 	"github.com/cnfet/yieldlab/internal/stat"
 )
@@ -41,6 +42,12 @@ type Options struct {
 	// BatchSize groups rounds per stream derivation; larger batches
 	// amortize stream setup, smaller ones improve balance. Default 64.
 	BatchSize int
+	// Counters, when non-nil, receives engine progress (rounds, batches,
+	// scratch growth when the state implements obs.ScratchCounter). Workers
+	// accumulate plain local counters and flush once at worker exit, so the
+	// hot round loop sees no atomic traffic and counting cannot perturb the
+	// estimate: results are bit-identical with or without Counters.
+	Counters *obs.MCCounters
 }
 
 // Run executes rounds of f in parallel and merges the estimates.
@@ -128,6 +135,19 @@ func runMerged[S any](rounds int, newState func() S, f func(r *rand.Rand, state 
 		if newState != nil {
 			state = newState()
 		}
+		// Counter flush happens once per worker lifetime: the loop below
+		// counts into plain locals so the per-round cost of observability
+		// is a register increment, not an atomic RMW.
+		var localRounds, localBatches uint64
+		if opt.Counters != nil {
+			defer func() {
+				opt.Counters.Rounds.Add(localRounds)
+				opt.Counters.Batches.Add(localBatches)
+				if sc, ok := any(state).(obs.ScratchCounter); ok {
+					opt.Counters.ScratchAllocs.Add(sc.ScratchAllocs())
+				}
+			}()
+		}
 		for {
 			if failed.Load() {
 				return
@@ -142,6 +162,7 @@ func runMerged[S any](rounds int, newState func() S, f func(r *rand.Rand, state 
 			if hi > rounds {
 				hi = rounds
 			}
+			localBatches++
 			var local stat.Welford
 			for i := lo; i < hi; i++ {
 				v, err := f(r, state)
@@ -155,6 +176,7 @@ func runMerged[S any](rounds int, newState func() S, f func(r *rand.Rand, state 
 					return
 				}
 				local.Add(v)
+				localRounds++
 			}
 			accs[b] = local
 		}

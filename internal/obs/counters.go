@@ -1,0 +1,29 @@
+package obs
+
+import "sync/atomic"
+
+// MCCounters aggregates Monte Carlo engine progress for one span. The
+// fields are atomics, but the engine does not touch them per round: each
+// worker accumulates plain local counters and flushes them once at worker
+// exit, so the //yield:noalloc round loops stay free of atomic traffic and
+// the obs-overhead ratio gate stays honest.
+type MCCounters struct {
+	// Rounds counts completed simulation rounds.
+	Rounds atomic.Uint64
+	// Batches counts work batches claimed from the engine's queue.
+	Batches atomic.Uint64
+	// ScratchAllocs counts scratch-growth events in round state (capacity
+	// misses, hash-set growth) — the allocations the pre-sizing in
+	// NewRoundState exists to avoid. Non-zero steady-state values flag a
+	// sizing regression.
+	ScratchAllocs atomic.Uint64
+}
+
+// ScratchCounter is implemented by round states that track their scratch
+// growth; the montecarlo engine folds the count into MCCounters at worker
+// exit when the state implements it.
+type ScratchCounter interface {
+	// ScratchAllocs returns the cumulative scratch-growth events of this
+	// state's lifetime.
+	ScratchAllocs() uint64
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free fixed-bucket histogram in the Prometheus mold:
+// upper bounds are inclusive ("le"), an implicit +Inf bucket catches the
+// rest, and Sum/Count ride along. Observe is wait-free (two atomic adds and
+// a CAS loop for the float sum), so request and stage recording never
+// serializes the server's hot path.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given bucket upper bounds. The
+// bounds are sorted and deduplicated defensively; non-finite bounds are
+// dropped (+Inf is always implicit).
+func NewHistogram(bounds ...float64) *Histogram {
+	clean := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if !math.IsInf(b, 0) && !math.IsNaN(b) {
+			clean = append(clean, b)
+		}
+	}
+	sort.Float64s(clean)
+	uniq := clean[:0]
+	for i, b := range clean {
+		if i == 0 || b != clean[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{bounds: uniq, counts: make([]atomic.Uint64, len(uniq)+1)}
+}
+
+// DefaultLatencyBuckets returns the server's request/stage latency bounds in
+// seconds: 100 µs to ~30 s in roughly 1-2.5-5 decades, wide enough for both
+// cache-hit microsecond responses and multi-second cold rare-event runs.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound ≥ v is v's bucket (le is inclusive); misses land in +Inf.
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		sum := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(sum)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram, cumulative the
+// way the Prometheus text format wants it.
+type HistogramSnapshot struct {
+	// Bounds are the finite bucket upper bounds.
+	Bounds []float64
+	// Cumulative[i] counts observations ≤ Bounds[i]; the final extra entry
+	// is the +Inf bucket and equals Count.
+	Cumulative []uint64
+	// Sum is the sum of all observed values.
+	Sum float64
+	// Count is the number of observations.
+	Count uint64
+}
+
+// Snapshot returns the histogram's current state. Under concurrent Observe
+// traffic the snapshot is a consistent-enough approximation (counts may lag
+// the sum by in-flight observations); after writers quiesce it is exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.counts)),
+		Sum:        math.Float64frombits(h.sumBits.Load()),
+		Count:      h.count.Load(),
+	}
+	var running uint64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		snap.Cumulative[i] = running
+	}
+	// Buckets and the count are separate atomics, so an in-flight Observe
+	// can be visible in one and not the other; pin Count to the bucket total
+	// when it lags so +Inf == _count and the buckets stay monotone.
+	if running > snap.Count {
+		snap.Count = running
+	}
+	snap.Cumulative[len(snap.Cumulative)-1] = snap.Count
+	return snap
+}

@@ -1,0 +1,254 @@
+// Package obs is the stack's zero-dependency observability layer: a
+// context-carried tracer producing nested spans from the HTTP edge down to
+// the Monte Carlo round loop, per-worker counters for the zero-allocation
+// hot paths, fixed-bucket latency histograms for the Prometheus endpoint,
+// and a slow-query ring buffer.
+//
+// # Ownership of the wall clock
+//
+// The compute packages (query, montecarlo, rowyield, renewal, ...) are held
+// to determinism by the yieldvet analyzer: time.Now is banned there because
+// wall-clock reads leaking into results would break the canonical
+// fingerprint / ETag identity. obs owns the clock the same way internal/rng
+// owns randomness — all timing happens inside this package, and compute
+// code only calls Start/End, which touch nothing but the span tree.
+//
+// # Zero perturbation
+//
+// Tracing must never change results. Span creation is nil-safe end to end:
+// with no Tracer on the context every obs call is a no-op on nil, so
+// untraced paths pay one context lookup and nothing else. Counters are
+// accumulated per worker and flushed once per worker lifetime, so the
+// //yield:noalloc round loops see no atomic traffic and no allocation.
+// Estimates are bit-identical with tracing on or off; the CI obs-overhead
+// ratio gate (BENCH_BASELINE.json) holds the instrumented round loop to
+// ≤ 1.05× the uninstrumented one.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects a forest of spans for one traced operation (typically one
+// HTTP request or one CLI invocation). A Tracer is safe for concurrent use:
+// sweep workers evaluating specs in parallel may all start root spans on
+// the same tracer.
+type Tracer struct {
+	start time.Time
+
+	mu    sync.Mutex
+	roots []*Span
+
+	cost atomic.Bool
+}
+
+// New returns an empty tracer whose trace timestamps are relative to now.
+func New() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// EnableCost opts the tracer into cost reporting: query evaluations attach
+// a CostBreakdown to their results. Cost is separate from tracing itself so
+// a server can trace every request (feeding histograms and the slowlog)
+// while timing fields stay out of the default, cacheable response bodies.
+// Nil-safe.
+func (t *Tracer) EnableCost() {
+	if t != nil {
+		t.cost.Store(true)
+	}
+}
+
+// CostEnabled reports whether EnableCost was called. Nil-safe (false).
+func (t *Tracer) CostEnabled() bool {
+	return t != nil && t.cost.Load()
+}
+
+// Roots returns the tracer's root spans in start order. Safe to call
+// concurrently, but span contents should only be read after the spans
+// have ended.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// ctxKey is the context key space of this package.
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer attaches a tracer to the context; subsequent Start calls under
+// this context record spans on it.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the context's tracer, nil when the context is untraced.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// Start opens a span named name under the context's current span (or as a
+// root when there is none) and returns a context carrying the new span as
+// current. With no tracer on the context it returns (ctx, nil) without
+// allocating; the nil *Span accepts every method as a no-op, so call sites
+// need no conditionals.
+//
+// Callers that want sibling spans rather than nesting simply keep using
+// their original context: Start never mutates ctx, it derives.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey).(*Span)
+	sp := &Span{tracer: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	if parent != nil {
+		parent.children = append(parent.children, sp)
+	} else {
+		t.roots = append(t.roots, sp)
+	}
+	t.mu.Unlock()
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// Attr is one key/value span attribute.
+type Attr struct {
+	// Key names the attribute ("rounds", "tilt_theta", ...).
+	Key string
+	// Value holds the attribute; keep it a JSON-friendly scalar.
+	Value any
+}
+
+// Span is one timed operation in a trace tree. All methods are nil-safe, so
+// instrumented code never branches on whether tracing is active. A span is
+// mutated by the goroutine that created it; read it after End.
+type Span struct {
+	tracer   *Tracer
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+
+	mcOnce sync.Once
+	mc     *MCCounters
+}
+
+// SetName renames the span — used to refine a generic stage name once its
+// outcome is known (e.g. "sweep" → "sweep.cache_hit"). Nil-safe.
+func (s *Span) SetName(name string) {
+	if s != nil {
+		s.name = name
+	}
+}
+
+// SetAttr records an attribute, replacing any earlier value for the key.
+// Nil-safe.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// MC returns the span's Monte Carlo counter block, allocating it on first
+// use. Hand it to montecarlo.Options.Counters; End folds non-zero counters
+// into span attributes. Returns nil on a nil span, which the engine treats
+// as "don't count".
+func (s *Span) MC() *MCCounters {
+	if s == nil {
+		return nil
+	}
+	s.mcOnce.Do(func() { s.mc = &MCCounters{} })
+	return s.mc
+}
+
+// End stamps the span's duration and folds any counters into attributes.
+// Subsequent Ends are no-ops; nil-safe.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	if s.mc != nil {
+		if v := s.mc.Rounds.Load(); v > 0 {
+			if _, ok := s.AttrValue("rounds"); !ok {
+				s.SetAttr("rounds", v)
+			}
+		}
+		if v := s.mc.Batches.Load(); v > 0 {
+			s.SetAttr("mc_batches", v)
+		}
+		if v := s.mc.ScratchAllocs.Load(); v > 0 {
+			s.SetAttr("scratch_allocs", v)
+		}
+	}
+}
+
+// Name returns the span's (possibly refined) name. Nil-safe ("").
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's duration (zero before End). Nil-safe.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Attrs returns the span's attributes in insertion order. Nil-safe.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	return s.attrs
+}
+
+// AttrValue looks up one attribute by key. Nil-safe (not found).
+func (s *Span) AttrValue(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Children returns the span's child spans in start order. Read after the
+// subtree has ended. Nil-safe.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}

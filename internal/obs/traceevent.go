@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// traceEvent is one Chrome trace_event entry: a complete ("X") event with
+// microsecond timestamp and duration. The format is the lowest common
+// denominator of trace viewers — chrome://tracing, Perfetto and speedscope
+// all open it — which keeps the exporter dependency-free.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTraceEvents renders the tracer's span forest in Chrome trace_event
+// JSON format (the {"traceEvents": [...]} object form). Each root span gets
+// its own tid so concurrent sweep evaluations lay out as parallel tracks;
+// span attributes become event args. Call after the traced work is done.
+func (t *Tracer) WriteTraceEvents(w io.Writer) error {
+	var events []traceEvent
+	if t != nil {
+		for i, root := range t.Roots() {
+			events = appendEvents(events, root, t.start, i+1)
+		}
+	}
+	if events == nil {
+		events = []traceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// appendEvents walks one span subtree depth-first onto the event list.
+func appendEvents(events []traceEvent, s *Span, origin time.Time, tid int) []traceEvent {
+	if s == nil {
+		return events
+	}
+	ev := traceEvent{
+		Name: s.Name(),
+		Ph:   "X",
+		TS:   float64(s.start.Sub(origin)) / float64(time.Microsecond),
+		Dur:  float64(s.Duration()) / float64(time.Microsecond),
+		PID:  1,
+		TID:  tid,
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		ev.Args = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			ev.Args[a.Key] = a.Value
+		}
+	}
+	events = append(events, ev)
+	for _, c := range s.Children() {
+		events = appendEvents(events, c, origin, tid)
+	}
+	return events
+}

@@ -1,0 +1,145 @@
+package query
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/obs"
+)
+
+// costCtx returns a context whose tracer has cost reporting enabled — the
+// query-layer equivalent of the server's ?debug=cost.
+func costCtx() (context.Context, *obs.Tracer) {
+	tr := obs.New()
+	tr.EnableCost()
+	return obs.WithTracer(context.Background(), tr), tr
+}
+
+// Cost is strictly opt-in: without a tracer, and even with a tracer that has
+// not enabled cost, results must not carry a breakdown — default bodies stay
+// byte-identical and ETag-sound.
+func TestCostOptIn(t *testing.T) {
+	s := newTestSession(t, Options{})
+	res, err := s.Evaluate(context.Background(), Spec{Kind: KindPF, WidthNM: 155})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != nil {
+		t.Fatalf("untraced result has Cost %+v", res.Cost)
+	}
+	ctx := obs.WithTracer(context.Background(), obs.New())
+	res, err = s.Evaluate(ctx, Spec{Kind: KindPF, WidthNM: 156})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != nil {
+		t.Fatalf("traced-without-cost result has Cost %+v", res.Cost)
+	}
+}
+
+func TestCostColdThenCacheHit(t *testing.T) {
+	s := newTestSession(t, Options{})
+	ctx, _ := costCtx()
+	cold, err := s.Evaluate(ctx, Spec{Kind: KindPF, WidthNM: 155})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cost == nil {
+		t.Fatal("cost-enabled evaluation returned no breakdown")
+	}
+	if cold.Cost.SweepCacheHit {
+		t.Fatalf("cold evaluation reported a cache hit: %+v", cold.Cost)
+	}
+	if cold.Cost.Sweeps == 0 {
+		t.Fatalf("cold evaluation computed no sweeps: %+v", cold.Cost)
+	}
+	if cold.Cost.TotalMS <= 0 || cold.Cost.SweepMS <= 0 {
+		t.Fatalf("cold timings not positive: %+v", cold.Cost)
+	}
+	if len(cold.Cost.Stages) == 0 || cold.Cost.Stages[0].Name != "query.evaluate" {
+		t.Fatalf("stages = %+v", cold.Cost.Stages)
+	}
+
+	ctx2, _ := costCtx()
+	warm, err := s.Evaluate(ctx2, Spec{Kind: KindPF, WidthNM: 155})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cost == nil || !warm.Cost.SweepCacheHit {
+		t.Fatalf("repeat evaluation not a cache hit: %+v", warm.Cost)
+	}
+	if warm.Cost.Sweeps != 0 {
+		t.Fatalf("repeat evaluation swept again: %+v", warm.Cost)
+	}
+	if warm.PF.PF != cold.PF.PF {
+		t.Fatalf("cache hit changed the answer: %g != %g", warm.PF.PF, cold.PF.PF)
+	}
+}
+
+// The ISSUE acceptance criterion at the query layer: a cold Monte Carlo
+// rowyield evaluation must attribute ≥ 90% of its wall time to the sweep and
+// MC stages — the instrumentation itself cannot be a visible cost.
+func TestCostRowYieldAttribution(t *testing.T) {
+	s := newTestSession(t, Options{})
+	ctx, _ := costCtx()
+	res, err := s.Evaluate(ctx, Spec{Kind: KindRowYield, Scenario: "unaligned",
+		WidthNM: 155, Rounds: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := res.Cost
+	if cb == nil {
+		t.Fatal("no cost breakdown")
+	}
+	if cb.MCRounds == 0 || cb.MCMS <= 0 {
+		t.Fatalf("MC stage not attributed: %+v", cb)
+	}
+	if cb.MCRounds < 20000 {
+		t.Fatalf("MCRounds = %d, want ≥ 20000", cb.MCRounds)
+	}
+	if attributed := cb.SweepMS + cb.MCMS; attributed < 0.9*cb.TotalMS {
+		t.Errorf("sweep+MC = %.3fms of %.3fms total (%.0f%%), want ≥ 90%%",
+			attributed, cb.TotalMS, 100*attributed/cb.TotalMS)
+	}
+	names := make(map[string]bool)
+	for _, st := range cb.Stages {
+		names[st.Name] = true
+	}
+	if !names["mc.run"] || !(names["sweep.cold"] || names["sweep.cache_hit"]) {
+		t.Fatalf("stage names = %v", names)
+	}
+}
+
+// The zero-perturbation guarantee (DESIGN.md §9): enabling tracing must not
+// change a single computed number. Fresh sessions, identical specs, one
+// traced and one not — every payload must be deeply equal.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	specs := []Spec{
+		{Kind: KindPF, WidthNM: 155},
+		{Kind: KindRowYield, Scenario: "unaligned", WidthNM: 155, Rounds: 500},
+		{Kind: KindRowYield, Scenario: "unaligned", WidthNM: 155,
+			MCMethod: "auto", RelErrTarget: 0.5},
+		{Kind: KindWmin},
+	}
+	for _, spec := range specs {
+		plain := newTestSession(t, Options{})
+		base, err := plain.Evaluate(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		traced := newTestSession(t, Options{})
+		ctx, _ := costCtx()
+		got, err := traced.Evaluate(ctx, spec)
+		if err != nil {
+			t.Fatalf("%+v traced: %v", spec, err)
+		}
+		if got.Cost == nil {
+			t.Fatalf("%+v traced: no cost", spec)
+		}
+		got.Cost = nil // timings legitimately differ; everything else must not
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("tracing perturbed %+v:\nplain:  %+v\ntraced: %+v", spec, base, got)
+		}
+	}
+}

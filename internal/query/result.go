@@ -13,6 +13,12 @@ type Result struct {
 	RowYield    *RowYieldResult `json:"rowyield,omitempty"`
 	Noise       *NoiseResult    `json:"noise,omitempty"`
 	Experiments []ResultJSON    `json:"experiments,omitempty"`
+
+	// Cost is the evaluation's stage timing, present only when the request
+	// opted into cost reporting (?debug=cost, -trace); it never enters
+	// cacheable payloads, so fingerprint-identical responses stay
+	// byte-identical.
+	Cost *CostBreakdown `json:"cost,omitempty"`
 }
 
 // PFResult is one device failure probability evaluation (kind pf).

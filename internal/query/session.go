@@ -10,7 +10,9 @@ import (
 	"github.com/cnfet/yieldlab/internal/device"
 	"github.com/cnfet/yieldlab/internal/dist"
 	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/montecarlo"
 	"github.com/cnfet/yieldlab/internal/noisemargin"
+	"github.com/cnfet/yieldlab/internal/obs"
 	"github.com/cnfet/yieldlab/internal/rareevent"
 	"github.com/cnfet/yieldlab/internal/renewal"
 	"github.com/cnfet/yieldlab/internal/rowyield"
@@ -182,18 +184,20 @@ func (s *Session) pitchLaw(q Spec) (dist.TruncNormal, error) {
 }
 
 // model builds (or fetches from the shared cache) the failure model for the
-// spec's corner, pitch law and grid.
-func (s *Session) model(params device.FailureParams, q Spec) (*device.FailureModel, error) {
+// spec's corner, pitch law and grid; hit reports whether the count model
+// came from the cache (the sweep spans classify evaluations with it).
+func (s *Session) model(params device.FailureParams, q Spec) (m *device.FailureModel, hit bool, err error) {
 	pitch, err := s.pitchLaw(q)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	step, maxWidth := s.grid(q)
-	count, err := s.cache.Model(pitch, renewal.WithStep(step), renewal.WithMaxWidth(maxWidth))
+	count, hit, err := s.cache.ModelTracked(pitch, renewal.WithStep(step), renewal.WithMaxWidth(maxWidth))
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return device.NewFailureModel(count, params)
+	m, err = device.NewFailureModel(count, params)
+	return m, hit, err
 }
 
 // scaledWidth returns the physical width of the spec: the 45 nm-reference
@@ -214,6 +218,11 @@ func (s *Session) scaledWidth(q Spec) (float64, error) {
 // Evaluate computes one concrete spec. Specs carrying sweep axes are
 // rejected — expand them through EvaluateAll. The returned Result embeds
 // the canonical spec and its fingerprint, so sweep outputs self-describe.
+//
+// When the context carries an obs.Tracer, the evaluation runs under a
+// "query.evaluate" span with sweep and Monte Carlo child stages; a tracer
+// with cost reporting enabled additionally attaches the CostBreakdown to
+// the Result. Tracing never changes the computed numbers.
 func (s *Session) Evaluate(ctx context.Context, q Spec) (Result, error) {
 	canon, fp, err := q.Canonical()
 	if err != nil {
@@ -225,28 +234,35 @@ func (s *Session) Evaluate(ctx context.Context, q Spec) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	ctx, sp := obs.Start(ctx, "query.evaluate")
+	sp.SetAttr("kind", canon.Kind)
+	sp.SetAttr("fingerprint", fp)
 	res := Result{Spec: canon, Fingerprint: fp}
 	switch canon.Kind {
 	case KindPF:
-		res.PF, err = s.evalPF(canon)
+		res.PF, err = s.evalPF(ctx, canon)
 	case KindWmin:
-		res.Wmin, err = s.evalWmin(canon)
+		res.Wmin, err = s.evalWmin(ctx, canon)
 	case KindRowYield:
-		res.RowYield, err = s.evalRowYield(canon)
+		res.RowYield, err = s.evalRowYield(ctx, canon)
 	case KindNoise:
-		res.Noise, err = s.evalNoise(canon)
+		res.Noise, err = s.evalNoise(ctx, canon)
 	case KindExperiment:
 		res.Experiments, err = s.evalExperiment(canon)
 	default:
 		err = fmt.Errorf("query: unknown kind %q", canon.Kind)
 	}
+	sp.End()
 	if err != nil {
 		return Result{}, err
+	}
+	if obs.TracerFrom(ctx).CostEnabled() {
+		res.Cost = costFromSpan(sp)
 	}
 	return res, nil
 }
 
-func (s *Session) evalPF(q Spec) (*PFResult, error) {
+func (s *Session) evalPF(ctx context.Context, q Spec) (*PFResult, error) {
 	params, cornerName, err := q.FailureParams()
 	if err != nil {
 		return nil, err
@@ -255,18 +271,25 @@ func (s *Session) evalPF(q Spec) (*PFResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := s.model(params, q)
+	// The sweep span covers model acquisition and the probability lookup:
+	// swept tables grow lazily, so a cached model can still sweep here when
+	// asked for a width it has not seen.
+	_, sp := obs.Start(ctx, "sweep")
+	m, hit, err := s.model(params, q)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	before := m.CountModel().Sweeps()
 	pf, err := m.FailureProb(w)
+	finishSweepSpan(sp, hit, m.CountModel().Sweeps()-before)
 	if err != nil {
 		return nil, err
 	}
 	return &PFResult{Corner: cornerName, Node: q.Node, WidthNM: w, PFCNT: m.PerCNTFailure(), PF: pf}, nil
 }
 
-func (s *Session) evalWmin(q Spec) (*WminResult, error) {
+func (s *Session) evalWmin(ctx context.Context, q Spec) (*WminResult, error) {
 	params, cornerName, err := q.FailureParams()
 	if err != nil {
 		return nil, err
@@ -293,10 +316,15 @@ func (s *Session) evalWmin(q Spec) (*WminResult, error) {
 			return nil, err
 		}
 	}
-	model, err := s.model(params, q)
+	// The Wmin search is sweep-dominated: every probed width evaluates the
+	// swept count table, so the whole solve sits under the sweep span.
+	_, sp := obs.Start(ctx, "sweep")
+	model, hit, err := s.model(params, q)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	before := model.CountModel().Sweeps()
 	res, err := yield.SimplifiedWmin(&yield.Problem{
 		Model:        model,
 		Widths:       widths,
@@ -304,6 +332,7 @@ func (s *Session) evalWmin(q Spec) (*WminResult, error) {
 		DesiredYield: desired,
 		RelaxFactor:  relax,
 	})
+	finishSweepSpan(sp, hit, model.CountModel().Sweeps()-before)
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +342,7 @@ func (s *Session) evalWmin(q Spec) (*WminResult, error) {
 	}, nil
 }
 
-func (s *Session) evalRowYield(q Spec) (*RowYieldResult, error) {
+func (s *Session) evalRowYield(ctx context.Context, q Spec) (*RowYieldResult, error) {
 	params, cornerName, err := q.FailureParams()
 	if err != nil {
 		return nil, err
@@ -344,11 +373,15 @@ func (s *Session) evalRowYield(q Spec) (*RowYieldResult, error) {
 	if s.opts.MaxRowRounds > 0 && rounds > s.opts.MaxRowRounds {
 		return nil, badRequest(fmt.Errorf("rounds %d exceeds limit %d", rounds, s.opts.MaxRowRounds))
 	}
-	model, err := s.model(params, q)
+	_, sp := obs.Start(ctx, "sweep")
+	model, hit, err := s.model(params, q)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	before := model.CountModel().Sweeps()
 	devicePF, err := model.FailureProb(w)
+	finishSweepSpan(sp, hit, model.CountModel().Sweeps()-before)
 	if err != nil {
 		return nil, err
 	}
@@ -388,7 +421,7 @@ func (s *Session) evalRowYield(q Spec) (*RowYieldResult, error) {
 			if target == 0 {
 				target = DefaultRelErrTarget
 			}
-			est, err := rareevent.EstimateRowFailure(rm, scenario, rareevent.Options{
+			est, err := rareevent.EstimateRowFailureContext(ctx, rm, scenario, rareevent.Options{
 				Method:       method,
 				RelErrTarget: target,
 				MaxRounds:    rounds,
@@ -408,10 +441,19 @@ func (s *Session) evalRowYield(q Spec) (*RowYieldResult, error) {
 			}
 			break
 		}
-		est, err := rm.EstimateRowFailureParallel(seed, scenario, rounds, s.params.Workers)
+		_, msp := obs.Start(ctx, "mc.run")
+		est, err := rm.EstimateRowFailureWith(scenario, rounds,
+			montecarlo.Options{Seed: seed, Workers: s.params.Workers, Counters: msp.MC()})
 		if err != nil {
+			msp.End()
 			return nil, err
 		}
+		msp.SetAttr("method", "plain")
+		msp.SetAttr("rounds", est.Rounds)
+		if est.Mean > 0 {
+			msp.SetAttr("rel_err", est.StdErr/est.Mean)
+		}
+		msp.End()
 		out.PRF, out.StdErr, out.Rounds = est.Mean, est.StdErr, est.Rounds
 	}
 	if q.KRows > 0 {
@@ -452,7 +494,7 @@ func (s *Session) rowModel(width float64, params device.FailureParams, q Spec) (
 	return rm, nil
 }
 
-func (s *Session) evalNoise(q Spec) (*NoiseResult, error) {
+func (s *Session) evalNoise(ctx context.Context, q Spec) (*NoiseResult, error) {
 	params, cornerName, err := q.FailureParams()
 	if err != nil {
 		return nil, err
@@ -477,11 +519,15 @@ func (s *Session) evalNoise(q Spec) (*NoiseResult, error) {
 	if desired == 0 {
 		desired = s.params.DesiredYield
 	}
-	model, err := s.model(params, q)
+	_, sp := obs.Start(ctx, "sweep")
+	model, hit, err := s.model(params, q)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	before := model.CountModel().Sweeps()
 	pmf, err := model.CountModel().CountPMF(w)
+	finishSweepSpan(sp, hit, model.CountModel().Sweeps()-before)
 	if err != nil {
 		return nil, err
 	}

@@ -31,12 +31,14 @@
 package rareevent
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"github.com/cnfet/yieldlab/internal/dist"
 	"github.com/cnfet/yieldlab/internal/montecarlo"
+	"github.com/cnfet/yieldlab/internal/obs"
 	"github.com/cnfet/yieldlab/internal/rng"
 	"github.com/cnfet/yieldlab/internal/rowyield"
 )
@@ -205,6 +207,17 @@ func (e Estimate) RelErr() float64 {
 // and needs no sampling. A model with per-CNT failure zero short-circuits to
 // an exact zero.
 func EstimateRowFailure(m *rowyield.RowModel, scenario rowyield.Scenario, opt Options) (Estimate, error) {
+	return EstimateRowFailureContext(context.Background(), m, scenario, opt)
+}
+
+// EstimateRowFailureContext is EstimateRowFailure under a context: when the
+// context carries an obs.Tracer, the estimator records "mc.pilot" spans for
+// its tilt-selection pilots and an "mc.run" span (method, rounds, tilt θ,
+// achieved rel-err, engine counters) for the main run. Tracing never
+// changes the numbers — the context is observability-only, not
+// cancellation: runs are deterministic in (seed, options) and always
+// complete.
+func EstimateRowFailureContext(ctx context.Context, m *rowyield.RowModel, scenario rowyield.Scenario, opt Options) (Estimate, error) {
 	if err := m.Prepare(); err != nil {
 		return Estimate{}, err
 	}
@@ -218,68 +231,107 @@ func EstimateRowFailure(m *rowyield.RowModel, scenario rowyield.Scenario, opt Op
 	}
 	switch opt.Method {
 	case Plain:
-		return estimatePlain(m, scenario, opt, 0)
+		return estimatePlain(ctx, m, scenario, opt, 0)
 	case Tilted:
 		ladder, err := tiltLadder(m)
 		if err != nil {
 			return Estimate{}, err
 		}
+		_, psp := obs.Start(ctx, "mc.pilot")
 		theta, pilotRounds, err := bestTilt(m, scenario, ladder, opt)
+		psp.SetAttr("candidates", len(ladder))
+		psp.SetAttr("rounds", pilotRounds)
+		psp.SetAttr("tilt_theta", theta)
+		psp.End()
 		if err != nil {
 			return Estimate{}, err
 		}
 		if theta == 0 {
 			// No useful tilt exists (the event is not rare enough to move
 			// the law for); the plain rounds are the optimal sampler.
-			return estimatePlain(m, scenario, opt, pilotRounds)
+			return estimatePlain(ctx, m, scenario, opt, pilotRounds)
 		}
-		return estimateTilted(m, scenario, theta, opt, pilotRounds)
+		return estimateTilted(ctx, m, scenario, theta, opt, pilotRounds)
 	case Splitting:
-		return estimateSplitting(m, scenario, opt, 0)
+		return estimateSplitting(ctx, m, scenario, opt, 0)
 	case Auto:
-		return estimateAuto(m, scenario, opt)
+		return estimateAuto(ctx, m, scenario, opt)
 	default:
 		return Estimate{}, fmt.Errorf("rareevent: unknown method %d", int(opt.Method))
 	}
 }
 
+// endRunSpan finishes an "mc.run" span with the estimate's provenance.
+// Nil-safe like all span operations.
+func endRunSpan(sp *obs.Span, est Estimate, err error) {
+	if sp == nil {
+		return
+	}
+	if err == nil {
+		sp.SetAttr("method", est.Method.String())
+		sp.SetAttr("rounds", est.Rounds)
+		if est.Theta != 0 {
+			sp.SetAttr("tilt_theta", est.Theta)
+		}
+		if est.Levels > 0 {
+			sp.SetAttr("split_levels", est.Levels)
+		}
+		if est.Replicas > 0 {
+			sp.SetAttr("replicas", est.Replicas)
+		}
+		if est.Mean > 0 {
+			sp.SetAttr("rel_err", est.RelErr())
+		}
+	}
+	sp.End()
+}
+
 // estimatePlain runs the base rounds under adaptive stopping.
-func estimatePlain(m *rowyield.RowModel, scenario rowyield.Scenario, opt Options, extraRounds int) (Estimate, error) {
+func estimatePlain(ctx context.Context, m *rowyield.RowModel, scenario rowyield.Scenario, opt Options, extraRounds int) (Estimate, error) {
+	_, sp := obs.Start(ctx, "mc.run")
 	est, err := montecarlo.RunStateAdaptive(m.NewRoundState,
 		func(r *rand.Rand, st *rowyield.RoundState) (float64, error) {
 			return m.Round(r, scenario, st)
-		}, adaptiveOptions(opt, extraRounds))
+		}, adaptiveOptions(opt, extraRounds, sp.MC()))
 	if err != nil {
+		endRunSpan(sp, Estimate{}, err)
 		return Estimate{}, err
 	}
-	return Estimate{Mean: est.Mean, StdErr: est.StdErr, Rounds: est.Rounds + extraRounds, Method: Plain}, nil
+	out := Estimate{Mean: est.Mean, StdErr: est.StdErr, Rounds: est.Rounds + extraRounds, Method: Plain}
+	endRunSpan(sp, out, nil)
+	return out, nil
 }
 
 // estimateTilted runs importance-sampled rounds at the given tilt.
-func estimateTilted(m *rowyield.RowModel, scenario rowyield.Scenario, theta float64, opt Options, extraRounds int) (Estimate, error) {
+func estimateTilted(ctx context.Context, m *rowyield.RowModel, scenario rowyield.Scenario, theta float64, opt Options, extraRounds int) (Estimate, error) {
 	tm, err := m.Tilted(theta)
 	if err != nil {
 		return Estimate{}, err
 	}
+	_, sp := obs.Start(ctx, "mc.run")
 	est, err := montecarlo.RunStateAdaptive(tm.NewRoundState,
 		func(r *rand.Rand, st *rowyield.RoundState) (float64, error) {
 			return tm.Round(r, scenario, st)
-		}, adaptiveOptions(opt, extraRounds))
+		}, adaptiveOptions(opt, extraRounds, sp.MC()))
 	if err != nil {
+		endRunSpan(sp, Estimate{}, err)
 		return Estimate{}, err
 	}
-	return Estimate{Mean: est.Mean, StdErr: est.StdErr, Rounds: est.Rounds + extraRounds, Method: Tilted, Theta: theta}, nil
+	out := Estimate{Mean: est.Mean, StdErr: est.StdErr, Rounds: est.Rounds + extraRounds, Method: Tilted, Theta: theta}
+	endRunSpan(sp, out, nil)
+	return out, nil
 }
 
 // adaptiveOptions maps Options onto the montecarlo adaptive runner,
-// docking any rounds already spent (pilots) from the hard cap.
-func adaptiveOptions(opt Options, spent int) montecarlo.AdaptiveOptions {
+// docking any rounds already spent (pilots) from the hard cap. counters
+// (nil when untraced) ride into the engine for per-worker flushing.
+func adaptiveOptions(opt Options, spent int, counters *obs.MCCounters) montecarlo.AdaptiveOptions {
 	budget := opt.MaxRounds - spent
 	if budget < 2 {
 		budget = 2
 	}
 	return montecarlo.AdaptiveOptions{
-		Options:      montecarlo.Options{Seed: opt.Seed, Workers: opt.Workers},
+		Options:      montecarlo.Options{Seed: opt.Seed, Workers: opt.Workers, Counters: counters},
 		RelErrTarget: opt.RelErrTarget,
 		MaxRounds:    budget,
 		MinRounds:    opt.MinRounds,
@@ -300,13 +352,15 @@ func adaptiveOptions(opt Options, spent int) montecarlo.AdaptiveOptions {
 // (E[p²]/E[p]² − 1 with E[p²] estimated under the best tilted candidate via
 // rowyield.TiltedRowModel.Moments, which is unbiased for the base law's
 // second moment).
-func estimateAuto(m *rowyield.RowModel, scenario rowyield.Scenario, opt Options) (Estimate, error) {
+func estimateAuto(ctx context.Context, m *rowyield.RowModel, scenario rowyield.Scenario, opt Options) (Estimate, error) {
 	ladder, lerr := tiltLadder(m)
 	if lerr != nil {
 		ladder = nil // non-tiltable pitch law: auto degrades to plain vs splitting
 	}
+	_, psp := obs.Start(ctx, "mc.pilot")
 	plain, err := runPilot(m, scenario, 0, 0, opt)
 	if err != nil {
+		psp.End()
 		return Estimate{}, err
 	}
 	spent := plain.rounds
@@ -314,6 +368,7 @@ func estimateAuto(m *rowyield.RowModel, scenario rowyield.Scenario, opt Options)
 	for i, theta := range ladder {
 		p, err := runPilot(m, scenario, theta, i+1, opt)
 		if err != nil {
+			psp.End()
 			return Estimate{}, err
 		}
 		spent += p.rounds
@@ -325,6 +380,7 @@ func estimateAuto(m *rowyield.RowModel, scenario rowyield.Scenario, opt Options)
 	if !math.IsInf(best.relvar, 1) && best.mean > 0 {
 		m2, rounds, err := runSecondMomentPilot(m, scenario, best.theta, len(ladder)+1, opt)
 		if err != nil {
+			psp.End()
 			return Estimate{}, err
 		}
 		spent += rounds
@@ -336,13 +392,17 @@ func estimateAuto(m *rowyield.RowModel, scenario rowyield.Scenario, opt Options)
 			plainRelvar = truePlain
 		}
 	}
+	psp.SetAttr("candidates", len(ladder)+1)
+	psp.SetAttr("rounds", spent)
+	psp.SetAttr("tilt_theta", best.theta)
+	psp.End()
 	switch {
 	case best.relvar < plainRelvar:
-		return estimateTilted(m, scenario, best.theta, opt, spent)
+		return estimateTilted(ctx, m, scenario, best.theta, opt, spent)
 	case !math.IsInf(plainRelvar, 1):
-		return estimatePlain(m, scenario, opt, spent)
+		return estimatePlain(ctx, m, scenario, opt, spent)
 	default:
-		return estimateSplitting(m, scenario, opt, spent)
+		return estimateSplitting(ctx, m, scenario, opt, spent)
 	}
 }
 

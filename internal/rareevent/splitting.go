@@ -1,6 +1,7 @@
 package rareevent
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 
 	"github.com/cnfet/yieldlab/internal/dist"
 	"github.com/cnfet/yieldlab/internal/montecarlo"
+	"github.com/cnfet/yieldlab/internal/obs"
 	"github.com/cnfet/yieldlab/internal/rowyield"
 )
 
@@ -113,7 +115,7 @@ func newSplitEngine(m *rowyield.RowModel, scenario rowyield.Scenario, opt Option
 }
 
 // estimateSplitting runs adaptive blocks of splitting replicas.
-func estimateSplitting(m *rowyield.RowModel, scenario rowyield.Scenario, opt Options, extraRounds int) (Estimate, error) {
+func estimateSplitting(ctx context.Context, m *rowyield.RowModel, scenario rowyield.Scenario, opt Options, extraRounds int) (Estimate, error) {
 	e, err := newSplitEngine(m, scenario, opt)
 	if err != nil {
 		return Estimate{}, err
@@ -126,25 +128,29 @@ func estimateSplitting(m *rowyield.RowModel, scenario rowyield.Scenario, opt Opt
 	if minReplicas > maxReplicas {
 		minReplicas = maxReplicas
 	}
+	_, sp := obs.Start(ctx, "mc.run")
 	est, err := montecarlo.RunStateAdaptive(e.newScratch,
 		func(r *rand.Rand, sc *splitScratch) (float64, error) {
 			return e.replica(r, sc), nil
 		}, montecarlo.AdaptiveOptions{
-			Options:      montecarlo.Options{Seed: opt.Seed, Workers: opt.Workers, BatchSize: 1},
+			Options:      montecarlo.Options{Seed: opt.Seed, Workers: opt.Workers, BatchSize: 1, Counters: sp.MC()},
 			RelErrTarget: opt.RelErrTarget,
 			MaxRounds:    maxReplicas,
 			MinRounds:    minReplicas,
 		})
 	if err != nil {
+		endRunSpan(sp, Estimate{}, err)
 		return Estimate{}, err
 	}
-	return Estimate{
+	out := Estimate{
 		Mean: est.Mean, StdErr: est.StdErr,
 		Rounds:   int(e.states.Load()) + extraRounds,
 		Method:   Splitting,
 		Levels:   int(e.maxLevels.Load()),
 		Replicas: est.Rounds,
-	}, nil
+	}
+	endRunSpan(sp, out, nil)
+	return out, nil
 }
 
 // newScratch allocates one worker's population memory.

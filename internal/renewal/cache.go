@@ -87,26 +87,37 @@ func (c *SweepCache) evictOverLimit() {
 // on first use. Passing a nil *SweepCache is allowed and degrades to
 // renewal.New.
 func (c *SweepCache) Model(spacing dist.Continuous, opts ...Option) (*Model, error) {
+	m, _, err := c.ModelTracked(spacing, opts...)
+	return m, err
+}
+
+// ModelTracked is Model with the cache outcome made visible: hit reports
+// whether the model came from the cache. A fresh build, an unfingerprinted
+// law and the nil-cache degradation all report false. The query layer's
+// sweep spans use this to classify evaluations cold vs cache-hit without
+// diffing global cache stats (which would race under concurrent requests).
+func (c *SweepCache) ModelTracked(spacing dist.Continuous, opts ...Option) (m *Model, hit bool, err error) {
 	if c == nil {
-		return New(spacing, opts...)
+		m, err = New(spacing, opts...)
+		return m, false, err
 	}
-	m, err := newConfigured(spacing, opts...)
+	m, err = newConfigured(spacing, opts...)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	fp, ok := dist.Fingerprint(spacing)
 	if !ok {
 		m.finish()
-		return m, nil
+		return m, false, nil
 	}
 	key := cacheKey(fp, m)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.clock++
-	if e, hit := c.entries[key]; hit {
+	if e, ok := c.entries[key]; ok {
 		c.hits++
 		e.use = c.clock
-		return e.model, nil
+		return e.model, true, nil
 	}
 	c.misses++
 	// Discretization runs under the lock: it is far cheaper than the sweeps
@@ -115,7 +126,7 @@ func (c *SweepCache) Model(spacing dist.Continuous, opts ...Option) (*Model, err
 	m.finish()
 	c.entries[key] = &cacheEntry{model: m, fp: fp, use: c.clock}
 	c.evictOverLimit()
-	return m, nil
+	return m, false, nil
 }
 
 // identityKey formats the full identity of a law+grid combination: the law

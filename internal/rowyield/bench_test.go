@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"github.com/cnfet/yieldlab/internal/device"
+	"github.com/cnfet/yieldlab/internal/montecarlo"
+	"github.com/cnfet/yieldlab/internal/obs"
 	"github.com/cnfet/yieldlab/internal/rng"
 )
 
@@ -81,4 +83,32 @@ func BenchmarkRowYieldMCParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRowYieldObsOverhead prices the observability layer on the hot
+// path: "off" is the bare estimator, "on" runs it exactly as an instrumented
+// evaluation does — inside a span, with the engine flushing its round/batch
+// counters into span-held atomics at worker exit. The on/off ratio is gated
+// at 1.05x in BENCH_BASELINE.json: tracing must stay effectively free.
+func BenchmarkRowYieldObsOverhead(b *testing.B) {
+	const rounds = 4096
+	run := func(b *testing.B, instrument bool) {
+		m := benchModel(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			opt := montecarlo.Options{Seed: 7, Workers: 1}
+			var sp *obs.Span
+			if instrument {
+				_, sp = obs.Start(obs.WithTracer(b.Context(), obs.New()), "mc.run")
+				opt.Counters = sp.MC()
+			}
+			if _, err := m.EstimateRowFailureWith(DirectionalUnaligned, rounds, opt); err != nil {
+				b.Fatal(err)
+			}
+			sp.End()
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }

@@ -243,13 +243,22 @@ func (m *RowModel) EstimateRowFailure(r *rand.Rand, s Scenario, rounds int) (Est
 // RoundState; the result is bit-identical across worker counts for a fixed
 // (seed, rounds).
 func (m *RowModel) EstimateRowFailureParallel(seed uint64, s Scenario, rounds, workers int) (Estimate, error) {
+	return m.EstimateRowFailureWith(s, rounds, montecarlo.Options{Seed: seed, Workers: workers})
+}
+
+// EstimateRowFailureWith is EstimateRowFailureParallel with the full engine
+// options exposed — in particular obs counters (Options.Counters), which
+// observability callers attach per evaluation span. The estimate is a pure
+// function of (Seed, BatchSize, rounds, scenario): Counters and Workers
+// never change the numbers.
+func (m *RowModel) EstimateRowFailureWith(s Scenario, rounds int, opt montecarlo.Options) (Estimate, error) {
 	if err := m.Prepare(); err != nil {
 		return Estimate{}, err
 	}
 	est, err := montecarlo.RunState(rounds, m.NewRoundState,
 		func(r *rand.Rand, st *RoundState) (float64, error) {
 			return m.Round(r, s, st)
-		}, montecarlo.Options{Seed: seed, Workers: workers})
+		}, opt)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -316,11 +325,21 @@ func (m *RowModel) roundUncorrelated(r *rand.Rand) float64 {
 //
 //yield:noalloc
 func (m *RowModel) roundDirectional(r *rand.Rand, st *RoundState, aligned bool) (float64, error) {
+	// The capacity compare is the whole cost of growth accounting on the
+	// steady-state path: sampleTracksInto only reallocates while the buffer
+	// has not yet covered the realized span.
+	c0 := cap(st.tracks)
 	if aligned {
 		st.tracks = m.sampleTracksInto(r, m.WidthNM, st.tracks[:0])
+		if cap(st.tracks) != c0 {
+			st.scratchAllocs++
+		}
 		return m.alignedFromTracks(st)
 	}
 	st.tracks = m.sampleTracksInto(r, m.WidthNM+m.offSpan, st.tracks[:0])
+	if cap(st.tracks) != c0 {
+		st.scratchAllocs++
+	}
 	return m.unalignedFromTracks(r, st)
 }
 

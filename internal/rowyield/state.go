@@ -21,6 +21,9 @@ type intervalSet struct {
 	gens []uint32
 	gen  uint32
 	n    int // live entries in the current generation
+	// grows counts table doublings over the set's lifetime — scratch-growth
+	// events surfaced through RoundState.ScratchAllocs.
+	grows uint64
 }
 
 // initCap rounds up to a power of two ≥ 4·want/3 so the load factor stays
@@ -83,6 +86,7 @@ func (s *intervalSet) add(iv Interval) bool {
 
 // grow doubles the table, rehashing the live generation.
 func (s *intervalSet) grow() {
+	s.grows++ // init leaves the lifetime counter alone
 	oldKeys, oldGens, oldGen := s.keys, s.gens, s.gen
 	s.init(len(oldKeys) * 2)
 	for i, g := range oldGens {
@@ -111,6 +115,19 @@ type RoundState struct {
 	// Exact-DP scratch (see exactRowFailureInto).
 	minLenEnd []int32
 	ring      []float64
+	// scratchAllocs counts scratch-growth events (capacity-miss fallbacks,
+	// track-buffer growth) over the state's lifetime; see ScratchAllocs.
+	scratchAllocs uint64
+}
+
+// ScratchAllocs returns the state's cumulative scratch-growth events:
+// capacity-miss reallocations in the DP scratch, track-buffer growth past
+// NewRoundState's pre-sizing, and interval-set doublings. It implements
+// obs.ScratchCounter, so the montecarlo engine folds the count into a
+// span's counters at worker exit; a non-zero steady-state value flags a
+// pre-sizing regression worth investigating.
+func (st *RoundState) ScratchAllocs() uint64 {
+	return st.scratchAllocs + st.seen.grows
 }
 
 // NewRoundState returns scratch pre-sized for the model's expected track and
@@ -161,6 +178,7 @@ func exactRowFailureInto(st *RoundState, intervals []Interval, nTracks int, pf f
 	// (0 = none). The shortest is binding: a failure run of that length
 	// kills the row.
 	if cap(st.minLenEnd) < nTracks {
+		st.scratchAllocs++
 		st.minLenEnd = make([]int32, nTracks) //yield:allow(noalloc) capacity-miss fallback; NewRoundState pre-sizes this so steady-state rounds never take it
 	}
 	minLenEnd := st.minLenEnd[:nTracks]
@@ -205,6 +223,7 @@ func exactRowFailureInto(st *RoundState, intervals []Interval, nTracks int, pf f
 		ringCap <<= 1
 	}
 	if cap(st.ring) < ringCap {
+		st.scratchAllocs++
 		st.ring = make([]float64, ringCap) //yield:allow(noalloc) capacity-miss fallback; NewRoundState pre-sizes this so steady-state rounds never take it
 	}
 	ring := st.ring[:ringCap]

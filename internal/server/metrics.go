@@ -5,23 +5,29 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
-	"time"
 
+	"github.com/cnfet/yieldlab/internal/buildinfo"
+	"github.com/cnfet/yieldlab/internal/obs"
 	"github.com/cnfet/yieldlab/internal/renewal"
 )
 
-// metricsRegistry aggregates per-route request counters and latency sums
-// for the Prometheus-text /metrics endpoint — the load-tracking surface the
+// metricsRegistry aggregates per-route request counters, fixed-bucket
+// latency histograms and per-stage (sweep/Monte Carlo span) histograms for
+// the Prometheus-text /metrics endpoint — the load-tracking surface the
 // heavy-traffic north star asks for. It is deliberately dependency-free:
 // the exposition format is a few lines of text, not worth a client library.
 type metricsRegistry struct {
 	mu sync.Mutex
 	// requests counts completed requests by route and status code.
 	requests map[routeCode]uint64
-	// latency accumulates per-route request durations.
-	latency map[string]*latencyAgg
+	// latency holds one request-duration histogram per route.
+	latency map[string]*obs.Histogram
+	// stages holds one duration histogram per evaluation stage (span name:
+	// query.evaluate, sweep.cold, sweep.cache_hit, mc.pilot, mc.run).
+	stages map[string]*obs.Histogram
 }
 
 type routeCode struct {
@@ -29,30 +35,40 @@ type routeCode struct {
 	code  int
 }
 
-type latencyAgg struct {
-	count   uint64
-	seconds float64
-}
-
 func newMetricsRegistry() *metricsRegistry {
 	return &metricsRegistry{
 		requests: make(map[routeCode]uint64),
-		latency:  make(map[string]*latencyAgg),
+		latency:  make(map[string]*obs.Histogram),
+		stages:   make(map[string]*obs.Histogram),
 	}
+}
+
+// histogramLocked returns m[key], creating it on first use. Caller holds
+// m.mu (the maps mutate only here; Observe itself is lock-free).
+func histogramLocked(m map[string]*obs.Histogram, key string) *obs.Histogram {
+	h := m[key]
+	if h == nil {
+		h = obs.NewHistogram(obs.DefaultLatencyBuckets()...)
+		m[key] = h
+	}
+	return h
 }
 
 // observe records one completed request.
 func (m *metricsRegistry) observe(route string, code int, seconds float64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.requests[routeCode{route, code}]++
-	agg := m.latency[route]
-	if agg == nil {
-		agg = &latencyAgg{}
-		m.latency[route] = agg
-	}
-	agg.count++
-	agg.seconds += seconds
+	h := histogramLocked(m.latency, route)
+	m.mu.Unlock()
+	h.Observe(seconds)
+}
+
+// observeStage records one evaluation stage duration.
+func (m *metricsRegistry) observeStage(stage string, seconds float64) {
+	m.mu.Lock()
+	h := histogramLocked(m.stages, stage)
+	m.mu.Unlock()
+	h.Observe(seconds)
 }
 
 // promSnapshot carries the point-in-time gauges sampled at scrape.
@@ -61,6 +77,36 @@ type promSnapshot struct {
 	cache         renewal.CacheStats
 	deduped       uint64
 	jobs          map[string]int
+	build         buildinfo.Info
+}
+
+// formatLE renders a bucket bound the way Prometheus clients do: shortest
+// round-trip float, so "0.005" not "5e-03".
+func formatLE(bound float64) string {
+	return strconv.FormatFloat(bound, 'g', -1, 64)
+}
+
+// writeHistogram renders one labeled series of a histogram family:
+// cumulative le buckets (an explicit +Inf equal to _count), then _sum and
+// _count.
+func writeHistogram(b *strings.Builder, name, labelKey, labelVal string, snap obs.HistogramSnapshot) {
+	for i, bound := range snap.Bounds {
+		fmt.Fprintf(b, "%s_bucket{%s=%q,le=%q} %d\n", name, labelKey, labelVal, formatLE(bound), snap.Cumulative[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, labelKey, labelVal, snap.Cumulative[len(snap.Cumulative)-1])
+	fmt.Fprintf(b, "%s_sum{%s=%q} %g\n", name, labelKey, labelVal, snap.Sum)
+	fmt.Fprintf(b, "%s_count{%s=%q} %d\n", name, labelKey, labelVal, snap.Count)
+}
+
+// sortedKeys returns the map's keys in ascending order, so scrapes are
+// deterministic.
+func sortedKeys(m map[string]*obs.Histogram) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // write renders the registry in Prometheus text exposition format, with
@@ -79,27 +125,39 @@ func (m *metricsRegistry) write(w http.ResponseWriter, snap promSnapshot) {
 		}
 		return reqs[i].code < reqs[j].code
 	})
-	routes := make([]string, 0, len(m.latency))
-	for r := range m.latency {
-		routes = append(routes, r)
+	counts := make(map[routeCode]uint64, len(m.requests))
+	for rc, n := range m.requests {
+		counts[rc] = n
 	}
-	sort.Strings(routes)
+	routes := sortedKeys(m.latency)
+	latency := make(map[string]obs.HistogramSnapshot, len(routes))
+	for _, r := range routes {
+		latency[r] = m.latency[r].Snapshot()
+	}
+	stageNames := sortedKeys(m.stages)
+	stages := make(map[string]obs.HistogramSnapshot, len(stageNames))
+	for _, st := range stageNames {
+		stages[st] = m.stages[st].Snapshot()
+	}
+	m.mu.Unlock()
 
 	var b strings.Builder
 	b.WriteString("# HELP yieldserver_http_requests_total Requests served, by route and status code.\n")
 	b.WriteString("# TYPE yieldserver_http_requests_total counter\n")
 	for _, rc := range reqs {
 		fmt.Fprintf(&b, "yieldserver_http_requests_total{route=%q,code=\"%d\"} %d\n",
-			rc.route, rc.code, m.requests[rc])
+			rc.route, rc.code, counts[rc])
 	}
-	b.WriteString("# HELP yieldserver_http_request_duration_seconds Cumulative request latency, by route.\n")
-	b.WriteString("# TYPE yieldserver_http_request_duration_seconds summary\n")
+	b.WriteString("# HELP yieldserver_http_request_duration_seconds Request latency, by route.\n")
+	b.WriteString("# TYPE yieldserver_http_request_duration_seconds histogram\n")
 	for _, r := range routes {
-		agg := m.latency[r]
-		fmt.Fprintf(&b, "yieldserver_http_request_duration_seconds_sum{route=%q} %g\n", r, agg.seconds)
-		fmt.Fprintf(&b, "yieldserver_http_request_duration_seconds_count{route=%q} %d\n", r, agg.count)
+		writeHistogram(&b, "yieldserver_http_request_duration_seconds", "route", r, latency[r])
 	}
-	m.mu.Unlock()
+	b.WriteString("# HELP yieldserver_stage_duration_seconds Evaluation stage wall time, by span name.\n")
+	b.WriteString("# TYPE yieldserver_stage_duration_seconds histogram\n")
+	for _, st := range stageNames {
+		writeHistogram(&b, "yieldserver_stage_duration_seconds", "stage", st, stages[st])
+	}
 
 	b.WriteString("# HELP yieldserver_sweep_cache_hits_total Sweep cache hits.\n")
 	b.WriteString("# TYPE yieldserver_sweep_cache_hits_total counter\n")
@@ -131,45 +189,14 @@ func (m *metricsRegistry) write(w http.ResponseWriter, snap promSnapshot) {
 		fmt.Fprintf(&b, "yieldserver_jobs{state=%q} %d\n", st, snap.jobs[st])
 	}
 
+	b.WriteString("# HELP yieldserver_build_info Build metadata; the value is always 1.\n")
+	b.WriteString("# TYPE yieldserver_build_info gauge\n")
+	fmt.Fprintf(&b, "yieldserver_build_info{version=%q,revision=%q,go_version=%q} 1\n",
+		snap.build.Version, snap.build.Revision, snap.build.GoVersion)
+
 	b.WriteString("# HELP yieldserver_uptime_seconds Seconds since the server started.\n")
 	b.WriteString("# TYPE yieldserver_uptime_seconds gauge\n")
 	fmt.Fprintf(&b, "yieldserver_uptime_seconds %g\n", snap.uptimeSeconds)
 
 	_, _ = io.WriteString(w, b.String()) //yield:allow(errenvelope) /metrics speaks the Prometheus text exposition format, not the JSON envelope
-}
-
-// withMetrics records every request's route, status and latency.
-func (s *Server) withMetrics(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		route := "unmatched"
-		if _, pattern := s.mux.Handler(r); pattern != "" {
-			// Strip the method from patterns like "GET /v1/pf".
-			if i := strings.IndexByte(pattern, ' '); i >= 0 {
-				route = pattern[i+1:]
-			} else {
-				route = pattern
-			}
-		}
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w}
-		next.ServeHTTP(sw, r)
-		code := sw.status
-		if code == 0 {
-			code = http.StatusOK
-		}
-		s.metrics.observe(route, code, time.Since(start).Seconds())
-	})
-}
-
-// statusWriter captures the response status for the metrics middleware.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	if w.status == 0 {
-		w.status = code
-	}
-	w.ResponseWriter.WriteHeader(code)
 }

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/obs"
+)
+
+// Golden rendering for one histogram series: this pins the Prometheus text
+// exposition details that scrapers depend on — cumulative le buckets, an
+// explicit +Inf equal to _count, shortest-round-trip bound formatting, and
+// %q label escaping.
+func TestWriteHistogramGolden(t *testing.T) {
+	h := obs.NewHistogram(0.001, 0.01, 0.1)
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	writeHistogram(&b, "x_seconds", "route", `/v1/"quoted"\path`, h.Snapshot())
+	want := `x_seconds_bucket{route="/v1/\"quoted\"\\path",le="0.001"} 1
+x_seconds_bucket{route="/v1/\"quoted\"\\path",le="0.01"} 3
+x_seconds_bucket{route="/v1/\"quoted\"\\path",le="0.1"} 4
+x_seconds_bucket{route="/v1/\"quoted\"\\path",le="+Inf"} 5
+x_seconds_sum{route="/v1/\"quoted\"\\path"} 5.0605
+x_seconds_count{route="/v1/\"quoted\"\\path"} 5
+`
+	if b.String() != want {
+		t.Errorf("rendering drifted:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// Bucket bounds must render the way Prometheus client libraries print them:
+// shortest round-trip decimal, never exponent notation for typical latency
+// bounds.
+func TestFormatLE(t *testing.T) {
+	cases := map[float64]string{
+		0.0001: "0.0001",
+		0.005:  "0.005",
+		0.25:   "0.25",
+		1:      "1",
+		30:     "30",
+	}
+	for in, want := range cases {
+		if got := formatLE(in); got != want {
+			t.Errorf("formatLE(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Hammer the registry from many goroutines while scraping concurrently; run
+// under -race this guards the lock-free histogram fast path and the lazily
+// created per-key series. Counts must balance exactly once writers quiesce.
+func TestMetricsRegistryConcurrent(t *testing.T) {
+	m := newMetricsRegistry()
+	const (
+		workers = 8
+		perG    = 500
+	)
+	stopScrape := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+			}
+			m.mu.Lock()
+			for _, h := range m.latency {
+				h.Snapshot()
+			}
+			m.mu.Unlock()
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			route := fmt.Sprintf("/v1/r%d", g%4)
+			for i := 0; i < perG; i++ {
+				m.observe(route, 200, 0.001*float64(i%7))
+				m.observeStage("mc.run", 0.0001)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stopScrape)
+	<-scrapeDone
+
+	var total uint64
+	m.mu.Lock()
+	for _, n := range m.requests {
+		total += n
+	}
+	var bucketTotal uint64
+	for _, h := range m.latency {
+		snap := h.Snapshot()
+		bucketTotal += snap.Count
+		if snap.Cumulative[len(snap.Cumulative)-1] != snap.Count {
+			t.Errorf("+Inf bucket %d != count %d", snap.Cumulative[len(snap.Cumulative)-1], snap.Count)
+		}
+		for i := 1; i < len(snap.Cumulative); i++ {
+			if snap.Cumulative[i] < snap.Cumulative[i-1] {
+				t.Errorf("buckets not monotone: %v", snap.Cumulative)
+			}
+		}
+	}
+	stageSnap := m.stages["mc.run"].Snapshot()
+	m.mu.Unlock()
+	if want := uint64(workers * perG); total != want || bucketTotal != want {
+		t.Errorf("requests %d, histogram count %d, want %d", total, bucketTotal, want)
+	}
+	if stageSnap.Count != uint64(workers*perG) {
+		t.Errorf("stage count %d, want %d", stageSnap.Count, workers*perG)
+	}
+}
+
+// /metrics must expose real histogram families (buckets, +Inf, sum, count)
+// for request latency and evaluation stages, plus the build_info gauge.
+func TestMetricsHistogramFamilies(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code := getJSON(t, ts.URL+"/v1/pf?width=155", nil); code != http.StatusOK {
+		t.Fatalf("pf status %d", code)
+	}
+	_, body, _ := getBody(t, ts.URL+"/metrics", nil)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE yieldserver_http_request_duration_seconds histogram",
+		`yieldserver_http_request_duration_seconds_bucket{route="/v1/pf",le="+Inf"} 1`,
+		`yieldserver_http_request_duration_seconds_bucket{route="/v1/pf",le="0.0001"}`,
+		`yieldserver_http_request_duration_seconds_count{route="/v1/pf"} 1`,
+		"# TYPE yieldserver_stage_duration_seconds histogram",
+		`yieldserver_stage_duration_seconds_bucket{stage="query.evaluate",le="+Inf"} 1`,
+		`yieldserver_stage_duration_seconds_count{stage="query.evaluate"} 1`,
+		"# TYPE yieldserver_build_info gauge",
+		`yieldserver_build_info{version=`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", text)
+	}
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/obs"
+	"github.com/cnfet/yieldlab/internal/query"
+)
+
+// Regression for the statusWriter Flusher mask: embedding http.ResponseWriter
+// hides the underlying Flush, which silently broke streaming handlers behind
+// the metrics middleware. The wrapper must stay flushable both via a direct
+// type assertion and via http.ResponseController.
+func TestStatusWriterKeepsFlusher(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	f, ok := any(sw).(http.Flusher)
+	if !ok {
+		t.Fatal("statusWriter does not implement http.Flusher")
+	}
+	f.Flush()
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+
+	rec = httptest.NewRecorder()
+	sw = &statusWriter{ResponseWriter: rec}
+	if err := http.NewResponseController(sw).Flush(); err != nil {
+		t.Fatalf("ResponseController.Flush: %v", err)
+	}
+	if !rec.Flushed {
+		t.Fatal("ResponseController flush did not reach the underlying writer")
+	}
+}
+
+// The whole middleware chain must keep handlers flushable end to end.
+func TestHandlerChainFlushable(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	flushed := make(chan bool, 1)
+	probe := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, ok := w.(http.Flusher)
+		flushed <- ok
+	})
+	rec := httptest.NewRecorder()
+	srv.withObs(probe).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if !<-flushed {
+		t.Fatal("handler behind withObs lost http.Flusher")
+	}
+}
+
+func TestRequestIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, _, hdr1 := getBody(t, ts.URL+"/healthz", nil)
+	_, _, hdr2 := getBody(t, ts.URL+"/healthz", nil)
+	id1, id2 := hdr1.Get("X-Request-ID"), hdr2.Get("X-Request-ID")
+	if id1 == "" || id2 == "" {
+		t.Fatalf("missing X-Request-ID: %q %q", id1, id2)
+	}
+	if id1 == id2 {
+		t.Fatalf("request ids collide: %q", id1)
+	}
+}
+
+func TestHealthzReportsBuildInfo(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var out map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out["status"] != "ok" {
+		t.Fatalf("status = %q", out["status"])
+	}
+	if out["go_version"] == "" {
+		t.Fatalf("healthz missing go_version: %v", out)
+	}
+	if out["version"] == "" {
+		t.Fatalf("healthz missing version: %v", out)
+	}
+}
+
+func TestSlowlogEndpoint(t *testing.T) {
+	// Negative threshold = record every request, so the test is deterministic.
+	_, ts := newTestServer(t, Config{SlowLogThreshold: -1, SlowLogEntries: 8})
+	if code := getJSON(t, ts.URL+"/v1/pf?width=155", nil); code != http.StatusOK {
+		t.Fatalf("pf status %d", code)
+	}
+	var out SlowLogJSON
+	if code := getJSON(t, ts.URL+"/debug/slowlog", &out); code != http.StatusOK {
+		t.Fatalf("slowlog status %d", code)
+	}
+	if out.Capacity != 8 || out.ThresholdMS != 0 {
+		t.Fatalf("slowlog config echo: %+v", out)
+	}
+	if out.Observed < 1 || out.Recorded < 1 || len(out.Entries) < 1 {
+		t.Fatalf("slowlog did not record: %+v", out)
+	}
+	var pf *obs.SlowEntry
+	for i := range out.Entries {
+		if out.Entries[i].Route == "/v1/pf" {
+			pf = &out.Entries[i]
+			break
+		}
+	}
+	if pf == nil {
+		t.Fatalf("no /v1/pf entry in %+v", out.Entries)
+	}
+	if pf.RequestID == "" || pf.Status != http.StatusOK || pf.DurationMS < 0 {
+		t.Fatalf("pf entry = %+v", pf)
+	}
+	names := make(map[string]bool)
+	for _, st := range pf.Stages {
+		names[st.Name] = true
+	}
+	if !names["query.evaluate"] || !(names["sweep.cold"] || names["sweep.cache_hit"]) {
+		t.Fatalf("pf entry stages = %+v", pf.Stages)
+	}
+	// The ring forgets the oldest entries rather than growing.
+	for i := 0; i < 20; i++ {
+		getJSON(t, ts.URL+"/healthz", nil)
+	}
+	getJSON(t, ts.URL+"/debug/slowlog", &out)
+	if len(out.Entries) > 8 {
+		t.Fatalf("ring exceeded capacity: %d entries", len(out.Entries))
+	}
+}
+
+// ?debug=cost is the opt-in: without it /v2/query bodies carry no timings
+// (so ETags stay stable); with it a cold rowyield evaluation reports its
+// stage breakdown, and a repeat reports the sweep as a cache hit.
+func TestV2QueryDebugCost(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := query.Spec{Kind: "rowyield", Scenario: "unaligned", WidthNM: 155, Rounds: 2000}
+
+	postCost := func() (query.Result, []byte) {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v2/query?debug=cost", "application/json",
+			strings.NewReader(string(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Results []query.Result `json:"results"`
+		}
+		raw := json.NewDecoder(resp.Body)
+		if err := raw.Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || len(out.Results) != 1 {
+			t.Fatalf("status %d results %d", resp.StatusCode, len(out.Results))
+		}
+		return out.Results[0], data
+	}
+
+	cold, _ := postCost()
+	if cold.Cost == nil {
+		t.Fatal("debug=cost returned no breakdown")
+	}
+	if cold.Cost.SweepCacheHit {
+		t.Fatalf("cold request reported cache hit: %+v", cold.Cost)
+	}
+	if cold.Cost.MCRounds == 0 || cold.Cost.MCMS <= 0 {
+		t.Fatalf("MC stage missing: %+v", cold.Cost)
+	}
+
+	code, _, body := postV2(t, ts.URL, spec)
+	if code != http.StatusOK {
+		t.Fatalf("plain status %d", code)
+	}
+	if strings.Contains(string(body), `"cost"`) {
+		t.Fatalf("undebugged body leaks cost: %s", body)
+	}
+
+	warm, _ := postCost()
+	if warm.Cost == nil || !warm.Cost.SweepCacheHit {
+		t.Fatalf("repeat request not a sweep cache hit: %+v", warm.Cost)
+	}
+	// Tracing and cache state never change the numbers.
+	if warm.RowYield.PRF != cold.RowYield.PRF {
+		t.Fatalf("repeat changed pRF: %g != %g", warm.RowYield.PRF, cold.RowYield.PRF)
+	}
+}

@@ -40,14 +40,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"github.com/cnfet/yieldlab/internal/buildinfo"
 	"github.com/cnfet/yieldlab/internal/device"
 	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/obs"
 	"github.com/cnfet/yieldlab/internal/query"
 	"github.com/cnfet/yieldlab/internal/renewal"
 	"github.com/cnfet/yieldlab/internal/rowyield"
@@ -88,6 +92,15 @@ type Config struct {
 	// MaxRowRounds caps Monte Carlo rounds a rowyield request may ask for
 	// (0 = DefaultMaxRowRounds).
 	MaxRowRounds int
+	// Logger receives one structured line per request (nil = discard, which
+	// keeps tests and embedded uses quiet).
+	Logger *slog.Logger
+	// SlowLogEntries bounds the /debug/slowlog ring
+	// (0 = obs.DefaultSlowLogEntries).
+	SlowLogEntries int
+	// SlowLogThreshold is the slowlog recording cutoff
+	// (0 = obs.DefaultSlowLogThreshold; negative records every request).
+	SlowLogThreshold time.Duration
 }
 
 // Server is the HTTP yield service. Create with New, serve Handler, and
@@ -102,7 +115,13 @@ type Server struct {
 	jobs    *jobEngine
 	mux     *http.ServeMux
 	metrics *metricsRegistry
+	slowlog *obs.SlowLog
+	logger  *slog.Logger
 	start   time.Time
+	// ridPrefix and reqSeq generate X-Request-ID correlation ids: a
+	// start-time prefix distinguishing restarts plus a process sequence.
+	ridPrefix string
+	reqSeq    atomic.Uint64
 	// paramsTag fingerprints the server's parameter set; ETags combine it
 	// with each spec's canonical fingerprint so two servers with different
 	// grids or seeds can never validate each other's cached responses.
@@ -142,6 +161,10 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg:       cfg,
 		params:    cfg.Params,
@@ -149,9 +172,12 @@ func New(cfg Config) (*Server, error) {
 		runner:    session.Runner(),
 		cache:     session.Cache(),
 		metrics:   newMetricsRegistry(),
+		slowlog:   obs.NewSlowLog(cfg.SlowLogEntries, cfg.SlowLogThreshold),
+		logger:    logger,
 		start:     time.Now(),
 		paramsTag: paramsTag(cfg.Params),
 	}
+	s.ridPrefix = fmt.Sprintf("%08x", uint32(s.start.UnixNano()))
 	s.cache.SetMaxEntries(cfg.CacheEntries)
 	s.jobs = newJobEngine(cfg.MaxJobs, cfg.ConcurrentJobs, s.session.Checkpoint)
 	s.routes()
@@ -168,9 +194,10 @@ func paramsTag(p experiments.Params) string {
 func (s *Server) Session() *query.Session { return s.session }
 
 // Handler returns the service's HTTP handler: the route mux wrapped in the
-// JSON 404/405 fallback and the metrics middleware.
+// JSON 404/405 fallback and the observability middleware (per-request
+// tracing, metrics, slowlog, structured log).
 func (s *Server) Handler() http.Handler {
-	return s.withMetrics(s.withJSONFallback())
+	return s.withObs(s.withJSONFallback())
 }
 
 // Close drains running jobs and persists the sweep cache.
@@ -192,6 +219,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
 }
 
 // --- corners ---------------------------------------------------------------
@@ -315,7 +343,12 @@ func setCacheHeaders(w http.ResponseWriter, etag string) {
 // --- handlers --------------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	info := buildinfo.Get()
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":     "ok",
+		"version":    buildinfo.Version(),
+		"go_version": info.GoVersion,
+	})
 }
 
 func (s *Server) handleCorners(w http.ResponseWriter, r *http.Request) {
@@ -783,6 +816,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cache:         cs,
 		deduped:       s.flight.sharedCount(),
 		jobs:          s.jobs.counts(),
+		build:         buildinfo.Get(),
+	})
+}
+
+// SlowLogJSON is the /debug/slowlog payload.
+type SlowLogJSON struct {
+	// ThresholdMS is the recording cutoff (0 = every request is recorded).
+	ThresholdMS float64 `json:"threshold_ms"`
+	// Capacity is the ring size; the newest Capacity slow requests are kept.
+	Capacity int `json:"capacity"`
+	// Observed and Recorded count requests seen and requests that cleared
+	// the threshold over the server's lifetime.
+	Observed uint64 `json:"observed"`
+	Recorded uint64 `json:"recorded"`
+	// Entries lists the retained slow requests, newest first.
+	Entries []obs.SlowEntry `json:"entries"`
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	observed, recorded := s.slowlog.Counts()
+	entries := s.slowlog.Entries()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, http.StatusOK, SlowLogJSON{
+		ThresholdMS: float64(s.slowlog.Threshold()) / float64(time.Millisecond),
+		Capacity:    s.slowlog.Capacity(),
+		Observed:    observed,
+		Recorded:    recorded,
+		Entries:     entries,
 	})
 }
 

@@ -49,6 +49,7 @@ import (
 	"io"
 
 	"github.com/cnfet/yieldlab/internal/alignactive"
+	"github.com/cnfet/yieldlab/internal/buildinfo"
 	"github.com/cnfet/yieldlab/internal/celllib"
 	"github.com/cnfet/yieldlab/internal/cntgrowth"
 	"github.com/cnfet/yieldlab/internal/device"
@@ -88,6 +89,18 @@ type (
 // NewSession builds the stateful evaluator behind the query API, warming
 // its sweep cache from SessionOptions.Store when one is given.
 func NewSession(opts SessionOptions) (*Session, error) { return query.NewSession(opts) }
+
+// Version returns the running binary's one-line version string: the module
+// version refined with the VCS revision and dirty marker when the build
+// metadata carries them. It backs `cnfetyield -version`, /healthz and the
+// /metrics build_info gauge.
+func Version() string { return buildinfo.Version() }
+
+// BuildInfo describes the running binary (version, VCS revision, toolchain).
+type BuildInfo = buildinfo.Info
+
+// GetBuildInfo returns the binary's build metadata, read once and cached.
+func GetBuildInfo() BuildInfo { return buildinfo.Get() }
 
 // ParseQuerySpec strictly decodes and validates a JSON QuerySpec — the
 // format accepted by `cnfetyield -spec` and POST /v2/query.
