@@ -9,7 +9,9 @@
 //
 //	go run ./cmd/doccheck [package-dir ...]
 //
-// With no arguments it audits the default set. Test files are skipped; an
+// With no arguments it audits the default set. A directory ending in
+// "/..." is walked recursively, skipping testdata and golden trees (their
+// fixtures are deliberately undocumented). Test files are skipped; an
 // exported method counts like any other export. A grouped declaration
 // (`const (...)`, `var (...)`) passes if either the group or the specific
 // spec is documented.
@@ -27,8 +29,14 @@ import (
 )
 
 // defaultDirs is the audited surface: the packages whose godoc the design
-// documents point at.
-var defaultDirs = []string{"internal/query", "internal/rareevent", "internal/obs"}
+// documents point at. The analysis tree is audited recursively — DESIGN.md
+// §7 leans on the godoc of every analyzer package.
+var defaultDirs = []string{
+	"internal/query",
+	"internal/rareevent",
+	"internal/obs",
+	"internal/analysis/...",
+}
 
 func main() {
 	dirs := os.Args[1:]
@@ -37,12 +45,23 @@ func main() {
 	}
 	var missing []string
 	for _, dir := range dirs {
-		m, err := auditDir(dir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
-			os.Exit(2)
+		expanded := []string{dir}
+		if root, ok := strings.CutSuffix(dir, "/..."); ok {
+			var err error
+			expanded, err = walkDirs(root)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+				os.Exit(2)
+			}
 		}
-		missing = append(missing, m...)
+		for _, d := range expanded {
+			m, err := auditDir(d)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+				os.Exit(2)
+			}
+			missing = append(missing, m...)
+		}
 	}
 	if len(missing) > 0 {
 		sort.Strings(missing)
@@ -52,6 +71,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) without doc comments\n", len(missing))
 		os.Exit(1)
 	}
+}
+
+// walkDirs expands a recursive pattern root into the directories under it
+// that contain .go files, skipping testdata and golden trees: analysis
+// fixtures flag on purpose and golden files are generated, so neither is
+// part of the documented surface.
+func walkDirs(root string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", "golden":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		// A directory's files interleave lexically with its subdirectories,
+		// so consecutive-dedup is not enough.
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	return dirs, err
 }
 
 // auditDir parses every non-test .go file in dir and returns one

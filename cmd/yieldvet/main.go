@@ -1,11 +1,16 @@
 // Command yieldvet is the repo's static-analysis suite: a vet-style
 // multichecker proving the invariants the yield stack's correctness story
 // leans on — determinism of the compute packages, zero-allocation Monte
-// Carlo hot paths, exhaustive canonical fingerprints and the server's JSON
-// error envelope. See DESIGN.md §7 for what each analyzer enforces and how
+// Carlo hot paths, exhaustive canonical fingerprints, the server's JSON
+// error envelope, context flow into sweep/MC work (ctxflow), span
+// begin/end balance (spanbalance), atomic/lock discipline (atomicsafe)
+// and a pinned exported-API surface (apilock). Cross-package analyzers
+// exchange per-package facts: serialized into the vetx files of the
+// -vettool protocol, or computed in import order by the standalone
+// driver. See DESIGN.md §7 for what each analyzer enforces and how
 // //yield:allow suppressions work.
 //
-// Three ways to run it:
+// Ways to run it:
 //
 //	go vet -vettool=$(go env GOPATH)/bin/yieldvet ./...
 //	    the go command drives one yieldvet process per package through
@@ -23,6 +28,12 @@
 //	    //yield:allow(noalloc) suppressions, which the AST pass alone
 //	    cannot decide.
 //
+//	go run ./cmd/yieldvet apilock [-update]
+//	    apilock mode: verifies the pinned QuerySpec fingerprint corpus
+//	    against the live canonicalizer and the pinned API surfaces
+//	    against the live packages; -update regenerates the goldens in
+//	    internal/analysis/apilock/golden after a reviewed API change.
+//
 // The tool is stdlib-only: the analyzers run on a miniature analysis
 // framework (internal/analysis) mirroring golang.org/x/tools/go/analysis,
 // which the sandboxed build environment cannot fetch.
@@ -36,10 +47,14 @@ import (
 	"strings"
 
 	"github.com/cnfet/yieldlab/internal/analysis"
+	"github.com/cnfet/yieldlab/internal/analysis/apilock"
+	"github.com/cnfet/yieldlab/internal/analysis/atomicsafe"
 	"github.com/cnfet/yieldlab/internal/analysis/canonical"
+	"github.com/cnfet/yieldlab/internal/analysis/ctxflow"
 	"github.com/cnfet/yieldlab/internal/analysis/determinism"
 	"github.com/cnfet/yieldlab/internal/analysis/errenvelope"
 	"github.com/cnfet/yieldlab/internal/analysis/noalloc"
+	"github.com/cnfet/yieldlab/internal/analysis/spanbalance"
 )
 
 // suite is the yieldvet analyzer set. Order is presentation only;
@@ -50,6 +65,10 @@ func suite() []*analysis.Analyzer {
 		noalloc.Analyzer,
 		canonical.Analyzer,
 		errenvelope.Analyzer,
+		ctxflow.Analyzer,
+		spanbalance.Analyzer,
+		atomicsafe.Analyzer,
+		apilock.Analyzer,
 	}
 }
 
@@ -75,6 +94,9 @@ func main() {
 
 	if len(args) > 0 && args[0] == "escape" {
 		os.Exit(runEscape(defaultPatterns(args[1:])))
+	}
+	if len(args) > 0 && args[0] == "apilock" {
+		os.Exit(runApilock(args[1:]))
 	}
 	os.Exit(runStandalone(defaultPatterns(args)))
 }

@@ -5,10 +5,16 @@ import (
 	"fmt"
 	"go/token"
 	"os"
+	"strings"
 
 	"github.com/cnfet/yieldlab/internal/analysis"
 	"github.com/cnfet/yieldlab/internal/analysis/load"
 )
+
+// modulePrefix gates fact computation: only this module's packages carry
+// yieldvet facts. Dependency visits outside the module (the standard
+// library, under -vettool) get the empty vetx the protocol expects.
+const modulePrefix = "github.com/cnfet/yieldlab"
 
 // vetConfig is the compilation-unit description `go vet` hands a vettool,
 // one JSON file per package — the schema of cmd/go's vet.cfg (mirrored
@@ -24,10 +30,40 @@ type vetConfig struct {
 	IgnoredFiles              []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+// inModule reports whether an import path belongs to this module (test
+// variants like "pkg [pkg.test]" included).
+func inModule(importPath string) bool {
+	return importPath == modulePrefix || strings.HasPrefix(importPath, modulePrefix+"/") ||
+		strings.HasPrefix(importPath, modulePrefix+" ")
+}
+
+// importDepFacts merges the dependencies' vetx payloads into fs. Absent
+// or empty files mean "no facts" by protocol.
+func importDepFacts(fs *analysis.FactSet, cfg *vetConfig) error {
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		if err := fs.ImportPackage(path, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadUnit type-checks the compilation unit described by cfg.
+func loadUnit(cfg *vetConfig) (*analysis.Target, error) {
+	fset := token.NewFileSet()
+	imp := load.ExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	return load.Files(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
 }
 
 // runVetConfig checks the single compilation unit described by cfgFile and
@@ -44,45 +80,79 @@ func runVetConfig(cfgFile string) int {
 		return 2
 	}
 
+	fs := analysis.NewFactSet()
+	if err := importDepFacts(fs, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "yieldvet: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
 	// The go command schedules fact-only (VetxOnly) runs over dependencies
-	// for analyzers that exchange facts across packages. The yieldvet
-	// analyzers are package-local, so a dependency visit only needs the
-	// (empty) fact file the protocol expects.
+	// so importing packages can consult their facts. Module packages get
+	// their facts computed here; everything else (the standard library)
+	// gets the empty payload the protocol expects.
 	if cfg.VetxOnly {
-		writeVetx(cfg.VetxOutput)
+		if !inModule(cfg.ImportPath) {
+			writeVetx(cfg.VetxOutput, nil)
+			return 0
+		}
+		target, err := loadUnit(&cfg)
+		if err != nil {
+			// The compiler will report the same problem with a better
+			// message; stay quiet either way — a fact-only visit must not
+			// fail the build on its own.
+			writeVetx(cfg.VetxOutput, nil)
+			return 0
+		}
+		if err := analysis.ComputeFacts(target, suite(), fs); err != nil {
+			fmt.Fprintf(os.Stderr, "yieldvet: %s: %v\n", cfg.ImportPath, err)
+			return 2
+		}
+		writeVetxFacts(cfg.VetxOutput, fs, cfg.ImportPath)
 		return 0
 	}
 
-	fset := token.NewFileSet()
-	imp := load.ExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
-	target, err := load.Files(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+	target, err := loadUnit(&cfg)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			// The compiler will report the same problem with a better
 			// message; stay quiet.
-			writeVetx(cfg.VetxOutput)
+			writeVetx(cfg.VetxOutput, nil)
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "yieldvet: %s: %v\n", cfg.ImportPath, err)
 		return 2
 	}
 
-	diags, err := analysis.Check(target, suite())
+	// CheckFacts computes the target's own facts into fs, so the vetx
+	// written below carries them for dependents.
+	diags, err := analysis.CheckFacts(target, suite(), fs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "yieldvet: %s: %v\n", cfg.ImportPath, err)
 		return 2
 	}
-	writeVetx(cfg.VetxOutput)
+	writeVetxFacts(cfg.VetxOutput, fs, cfg.ImportPath)
 	if printDiagnostics(target, diags) {
 		return 1
 	}
 	return 0
 }
 
-// writeVetx writes the (empty) fact file the vet protocol expects; best
-// effort, since no analyzer here consumes facts.
-func writeVetx(path string) {
+// writeVetx writes a vetx payload; best effort — a missing fact file
+// degrades cross-package checks, it does not break the build.
+func writeVetx(path string, data []byte) {
 	if path != "" {
-		_ = os.WriteFile(path, nil, 0o666)
+		_ = os.WriteFile(path, data, 0o666)
 	}
+}
+
+// writeVetxFacts serializes one package's facts as its vetx payload.
+func writeVetxFacts(path string, fs *analysis.FactSet, pkgPath string) {
+	if path == "" {
+		return
+	}
+	data, err := fs.ExportPackage(pkgPath)
+	if err != nil {
+		data = nil
+	}
+	writeVetx(path, data)
 }

@@ -18,6 +18,8 @@
 //
 // Pins are never moved (the paper: "we retained the location of the I/O
 // pins as much as possible"), so inter-cell routing impact stays bounded.
+//
+//yield:compute
 package alignactive
 
 import (

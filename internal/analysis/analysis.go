@@ -40,8 +40,17 @@ type Analyzer struct {
 	// pass.Report; the error return is for the analyzer itself failing,
 	// not for findings.
 	Run func(*Pass) error
+
+	// FactComputer, if set, derives this analyzer's per-package fact: a
+	// JSON-serializable summary of the package that runs over importing
+	// packages consult via Pass.PackageFact. It runs as a pre-pass (no
+	// reporting) over every package in the dependency graph, including
+	// ones never checked. The encoding must be deterministic — see the
+	// contract in facts.go. A nil return records no fact.
+	FactComputer func(*Pass) (any, error)
 }
 
+// String returns the analyzer's name; diagnostics and drivers print it.
 func (a *Analyzer) String() string { return a.Name }
 
 // A Pass connects one Analyzer run to the package under analysis.
@@ -54,6 +63,21 @@ type Pass struct {
 
 	// Report records one finding. Check installs a collector here.
 	Report func(Diagnostic)
+
+	// facts is the session's fact set, nil when the driver runs without
+	// cross-package facts (plain Check).
+	facts *FactSet
+}
+
+// PackageFact decodes this analyzer's fact for the package with the given
+// import path into out, reporting whether one was recorded. Facts exist
+// only for packages the driver ran the fact pre-pass over — in-module
+// dependencies — so a false return means "nothing known", not "empty".
+func (p *Pass) PackageFact(pkgPath string, out any) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.get(pkgPath, p.Analyzer.Name, out)
 }
 
 // Reportf reports a formatted diagnostic at pos.

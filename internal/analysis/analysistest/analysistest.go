@@ -6,9 +6,10 @@
 //
 // comment on the flagged line (several per line allowed, in order), and
 // the harness fails the test on any unmatched expectation or unexpected
-// diagnostic. Because fixtures run through analysis.Check — the same entry
-// point the yieldvet driver uses — suppression directives and their
-// staleness rules are exercised exactly as in production runs.
+// diagnostic. Because fixtures run through analysis.CheckFacts — the same
+// entry point the yieldvet drivers use — suppression directives, their
+// staleness rules and the cross-package facts layer are exercised exactly
+// as in production runs.
 package analysistest
 
 import (
@@ -35,12 +36,19 @@ var wantRE = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)$`)
 var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 
 // Run loads testdata/src/<pkg> relative to the caller's package directory,
-// runs the analyzers through analysis.Check, and diffs the diagnostics
-// against the fixture's // want comments.
+// runs the analyzers through analysis.CheckFacts, and diffs the
+// diagnostics against the fixture's // want comments. Imports naming
+// sibling directories under testdata/src resolve to those fixture
+// packages, whose facts are computed first (in dependency order) so
+// cross-package analyzers see dependencies exactly as the yieldvet
+// drivers present them; // want expectations apply only to the target
+// package.
 func Run(t *testing.T, pkg string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", pkg)
-	target, err := load.Dir(dir)
+	root := filepath.Join("testdata", "src")
+	dir := filepath.Join(root, pkg)
+	loader := load.NewFixtureLoader(root)
+	target, err := loader.Load(pkg)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
@@ -50,7 +58,21 @@ func Run(t *testing.T, pkg string, analyzers ...*analysis.Analyzer) {
 		t.Fatal(err)
 	}
 
-	diags, err := analysis.Check(target, analyzers)
+	fs := analysis.NewFactSet()
+	for _, dep := range loader.Loaded() {
+		if dep == pkg {
+			continue // CheckFacts computes the target's own facts
+		}
+		depTarget, err := loader.Load(dep)
+		if err != nil {
+			t.Fatalf("loading fixture dependency %s: %v", dep, err)
+		}
+		if err := analysis.ComputeFacts(depTarget, analyzers, fs); err != nil {
+			t.Fatalf("computing facts for fixture dependency %s: %v", dep, err)
+		}
+	}
+
+	diags, err := analysis.CheckFacts(target, analyzers, fs)
 	if err != nil {
 		t.Fatalf("checking fixture %s: %v", dir, err)
 	}

@@ -1,0 +1,61 @@
+package apilock_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/analysis/analysistest"
+	"github.com/cnfet/yieldlab/internal/analysis/apilock"
+	"github.com/cnfet/yieldlab/internal/analysis/load"
+)
+
+// fixtureSurface loads a fixture package and renders its live surface,
+// so the tests can register exact or deliberately drifted goldens.
+func fixtureSurface(t *testing.T, pkg string) string {
+	t.Helper()
+	loader := load.NewFixtureLoader(filepath.Join("testdata", "src"))
+	target, err := loader.Load(pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+	return apilock.Surface(target.Pkg)
+}
+
+func TestClean(t *testing.T) {
+	apilock.RegisterGolden("apigood", fixtureSurface(t, "apigood"))
+	analysistest.Run(t, "apigood", apilock.Analyzer)
+}
+
+func TestFlagged(t *testing.T) {
+	surface := fixtureSurface(t, "apibad")
+	// Drift in both directions: drop Extra from the pin, pin a Gone that
+	// the package no longer declares.
+	var kept []string
+	for _, line := range strings.Split(strings.TrimSuffix(surface, "\n"), "\n") {
+		if !strings.Contains(line, "Extra") {
+			kept = append(kept, line)
+		}
+	}
+	kept = append(kept, "func Gone()")
+	apilock.RegisterGolden("apibad", strings.Join(kept, "\n")+"\n")
+	analysistest.Run(t, "apibad", apilock.Analyzer)
+}
+
+// TestSurfaceDeterministic pins the renderer's own contract: two loads of
+// the same package must render byte-identical surfaces.
+func TestSurfaceDeterministic(t *testing.T) {
+	a := fixtureSurface(t, "apigood")
+	b := fixtureSurface(t, "apigood")
+	if a != b {
+		t.Fatalf("surface not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{"type Widget struct", `json:\"name\"`, "func (*Widget).Grow(by int) int", "func Count() int"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("surface missing %q:\n%s", want, a)
+		}
+	}
+	if strings.Contains(a, "helper") {
+		t.Errorf("surface leaked unexported decl:\n%s", a)
+	}
+}

@@ -1,0 +1,10 @@
+// Package apibad is the flagged apilock fixture: the test registers a
+// golden missing Extra and pinning a Gone that no longer exists, so the
+// analyzer reports drift in both directions at the package clause.
+package apibad // want "is not in the pinned surface" "pinned declaration .+ is missing"
+
+// Kept matches the pin.
+func Kept() int { return 1 }
+
+// Extra is new since the pin was taken.
+func Extra() {}

@@ -1,0 +1,19 @@
+// Package apigood is the clean apilock fixture: its exported surface
+// matches the golden the test registers.
+package apigood
+
+// Widget is a pinned exported type.
+type Widget struct {
+	Name string `json:"name"`
+}
+
+// Grow is a pinned exported method.
+func (w *Widget) Grow(by int) int { return by }
+
+// Count is a pinned exported function.
+func Count() int { return 0 }
+
+// internal details are not part of the surface.
+func helper() int { return 1 }
+
+var _ = helper

@@ -1,0 +1,723 @@
+// Package atomicsafe implements the yieldvet analyzer guarding the
+// concurrency contracts no compiler checks:
+//
+//   - a location accessed through the old-style sync/atomic functions
+//     (atomic.AddInt64(&x.f, ...)) anywhere in the module must never be
+//     read or written plainly elsewhere — mixed access is a data race the
+//     race detector only catches when the schedule cooperates. The set of
+//     atomically-accessed locations travels across packages as a fact, so
+//     a consumer package touching a producer's counter field plainly is
+//     flagged too. (Typed atomics — atomic.Int64 and friends — make mixed
+//     access unrepresentable and are the preferred fix.)
+//   - lock-bearing values (sync.Mutex and friends, typed atomics, or
+//     structs containing them) must not be copied: by-value parameters and
+//     receivers, copies of existing values, and range-value copies are
+//     flagged.
+//   - a held mutex must not straddle a blocking operation — channel sends
+//     and receives, selects without default, or calls into functions that
+//     may block (net/http, os file I/O, time.Sleep, WaitGroup.Wait, and —
+//     transitively, through the blocking-functions fact — module functions
+//     like query's Evaluate that reach such operations). Holding a lock
+//     across a block turns every other caller's fast path into that
+//     block's hostage; when serializing the slow operation is the lock's
+//     entire purpose, the site records that with //yield:allow(atomicsafe).
+//
+// Goroutine launches and deferred calls are excluded from both blocking
+// propagation and held-region scanning: a `go` statement does not block
+// its launcher, and defers run at return, where region tracking ends.
+package atomicsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/cnfet/yieldlab/internal/analysis"
+)
+
+// Analyzer is the atomicsafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:         "atomicsafe",
+	Doc:          "no mixed atomic/plain access, no lock copies, no lock held across blocking calls",
+	Run:          run,
+	FactComputer: computeFact,
+}
+
+// Fact is the per-package fact: locations the package accesses through
+// old-style sync/atomic functions, and functions that may block. Both
+// sorted.
+type Fact struct {
+	AtomicFields []string `json:"atomic_fields,omitempty"`
+	Blocking     []string `json:"blocking,omitempty"`
+}
+
+func computeFact(pass *analysis.Pass) (any, error) {
+	atomics := atomicLocations(pass)
+	fields := make([]string, 0, len(atomics))
+	for key := range atomics {
+		fields = append(fields, key)
+	}
+	sort.Strings(fields)
+
+	blocking := blockingFuncs(pass)
+	names := make([]string, 0, len(blocking))
+	for fn := range blocking {
+		names = append(names, fn.FullName())
+	}
+	sort.Strings(names)
+	return Fact{AtomicFields: fields, Blocking: names}, nil
+}
+
+func run(pass *analysis.Pass) error {
+	checkMixedAccess(pass)
+	checkLockCopies(pass)
+	checkHeldLocks(pass)
+	return nil
+}
+
+// ---- shared call-graph helpers ----
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func packageDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// ---- rule 1: mixed atomic/plain access ----
+
+// locationKey names a package-level variable or a struct field accessed
+// through &x in an old-style atomic call: "pkgpath.Var" or
+// "pkgpath.Type.Field" (receiver-type based, so embedded promotion names
+// the outer type consistently on both the atomic and the plain side).
+// The owning package path is returned separately so the checker knows
+// whose fact to consult.
+func locationKey(pass *analysis.Pass, expr ast.Expr) (pkgPath, key string) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return "", ""
+		}
+		// Package-level variable only: locals can't be shared by name.
+		if v.Parent() != v.Pkg().Scope() {
+			return "", ""
+		}
+		return v.Pkg().Path(), v.Pkg().Path() + "." + v.Name()
+	case *ast.SelectorExpr:
+		sel, ok := pass.TypesInfo.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return "", ""
+		}
+		recv := sel.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return "", ""
+		}
+		obj := named.Obj()
+		return obj.Pkg().Path(), obj.Pkg().Path() + "." + obj.Name() + "." + e.Sel.Name
+	}
+	return "", ""
+}
+
+// atomicArgs returns, for one file, the set of &-operand expressions that
+// appear as the location argument of old-style sync/atomic calls.
+func atomicArgs(pass *analysis.Pass, file *ast.File) map[ast.Expr]bool {
+	out := make(map[ast.Expr]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || fn.Signature().Recv() != nil {
+			return true
+		}
+		for _, arg := range call.Args {
+			if unary, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && unary.Op == token.AND {
+				out[ast.Unparen(unary.X)] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// atomicLocations collects the location keys this package accesses
+// atomically (old style).
+func atomicLocations(pass *analysis.Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, file := range pass.NonTestFiles() {
+		for expr := range atomicArgs(pass, file) {
+			if _, key := locationKey(pass, expr); key != "" {
+				out[key] = true
+			}
+		}
+	}
+	return out
+}
+
+func checkMixedAccess(pass *analysis.Pass) {
+	atomics := atomicLocations(pass)
+	factCache := make(map[string]map[string]bool)
+	isAtomic := func(pkgPath, key string) bool {
+		if pkgPath == pass.Pkg.Path() {
+			return atomics[key]
+		}
+		set, ok := factCache[pkgPath]
+		if !ok {
+			set = make(map[string]bool)
+			var fact Fact
+			if pass.PackageFact(pkgPath, &fact) {
+				for _, f := range fact.AtomicFields {
+					set[f] = true
+				}
+			}
+			factCache[pkgPath] = set
+		}
+		return set[key]
+	}
+
+	for _, file := range pass.NonTestFiles() {
+		exempt := atomicArgs(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			switch expr.(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+			default:
+				return true
+			}
+			if exempt[expr] {
+				return true
+			}
+			pkgPath, key := locationKey(pass, expr)
+			if key == "" || !isAtomic(pkgPath, key) {
+				return true
+			}
+			pass.Reportf(expr.Pos(),
+				"%s is accessed with sync/atomic elsewhere — this plain access races with it; use the atomic API (or a typed atomic) here too",
+				key)
+			return false
+		})
+	}
+}
+
+// ---- rule 2: lock copies ----
+
+// copiesLock reports whether t transitively contains a lock-bearing type:
+// anything from sync or sync/atomic (except the Locker interface).
+// Pointers, slices, maps and channels break containment.
+func copiesLock(t types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch tt := t.(type) {
+		case *types.Named:
+			obj := tt.Obj()
+			if obj.Pkg() != nil {
+				switch obj.Pkg().Path() {
+				case "sync", "sync/atomic":
+					_, isIface := tt.Underlying().(*types.Interface)
+					return !isIface
+				}
+			}
+			return walk(tt.Underlying())
+		case *types.Struct:
+			for i := 0; i < tt.NumFields(); i++ {
+				if walk(tt.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(tt.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// copySource reports whether an expression produces a copy of an existing
+// value (as opposed to a freshly constructed one).
+func copySource(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func checkLockCopies(pass *analysis.Pass) {
+	describe := func(t types.Type) string {
+		return types.TypeString(t, types.RelativeTo(pass.Pkg))
+	}
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			var fields []*ast.Field
+			if fn.Recv != nil {
+				fields = append(fields, fn.Recv.List...)
+			}
+			if fn.Type.Params != nil {
+				fields = append(fields, fn.Type.Params.List...)
+			}
+			for _, field := range fields {
+				t := pass.TypesInfo.TypeOf(field.Type)
+				if t == nil {
+					continue
+				}
+				if _, isPtr := t.(*types.Pointer); isPtr {
+					continue
+				}
+				if copiesLock(t) {
+					pass.Reportf(field.Type.Pos(),
+						"%s passes %s by value, copying its lock state — take a pointer",
+						fn.Name.Name, describe(t))
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, rhs := range s.Rhs {
+					if !copySource(rhs) {
+						continue
+					}
+					t := pass.TypesInfo.TypeOf(rhs)
+					if t != nil && copiesLock(t) {
+						pass.Reportf(s.Lhs[i].Pos(),
+							"assignment copies lock-bearing value of type %s — use a pointer",
+							describe(t))
+					}
+				}
+			case *ast.RangeStmt:
+				if s.Value == nil {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(s.Value)
+				if t != nil && copiesLock(t) {
+					pass.Reportf(s.Value.Pos(),
+						"range copies lock-bearing values of type %s — iterate by index or over pointers",
+						describe(t))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ---- rule 3: lock held across blocking operation ----
+
+// osBlockingFuncs are the file-I/O entry points of package os.
+var osBlockingFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true, "Rename": true,
+	"Remove": true, "RemoveAll": true, "Mkdir": true, "MkdirAll": true,
+	"MkdirTemp": true, "Stat": true, "Lstat": true, "Truncate": true,
+	"Chtimes": true, "Symlink": true, "Link": true,
+}
+
+// blockingRoot reports whether a resolved callee blocks by nature.
+func blockingRoot(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "net/http", "net":
+		return true
+	case "os":
+		if fn.Signature().Recv() == nil {
+			return osBlockingFuncs[fn.Name()]
+		}
+		return true // *os.File and friends: Read, Write, Sync, Close...
+	case "time":
+		return fn.Name() == "Sleep"
+	case "sync":
+		// (*WaitGroup).Wait blocks while holding whatever the caller
+		// holds. (*Cond).Wait is excluded: its contract requires holding
+		// the associated lock and it releases it while parked.
+		if fn.Name() != "Wait" {
+			return false
+		}
+		recv := fn.Signature().Recv()
+		if recv == nil {
+			return false
+		}
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Name() == "WaitGroup"
+	}
+	return false
+}
+
+// hasBlockingOp reports whether a function body directly contains a
+// blocking operation, excluding goroutine launches, defers and nested
+// function literals.
+func hasBlockingOp(pass *analysis.Pass, body *ast.BlockStmt, blockingCall func(*ast.CallExpr) bool) bool {
+	found := false
+	skip := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || skip[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			skip[n.Call] = true // args evaluate here, the call does not
+			return true
+		case *ast.DeferStmt:
+			skip[n.Call] = true
+			return true
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if blockingCall(n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// blockingFuncs computes this package's may-block set: functions whose
+// bodies contain a blocking operation or a call to a blocking function
+// (local fixpoint; cross-package via the Blocking fact).
+func blockingFuncs(pass *analysis.Pass) map[*types.Func]bool {
+	decls := packageDecls(pass)
+	blocking := make(map[*types.Func]bool)
+	imported := make(map[string]map[string]bool)
+	external := func(fn *types.Func) bool {
+		if blockingRoot(fn) {
+			return true
+		}
+		pkg := fn.Pkg()
+		if pkg == nil || pkg == pass.Pkg {
+			return false
+		}
+		set, ok := imported[pkg.Path()]
+		if !ok {
+			set = make(map[string]bool)
+			var fact Fact
+			if pass.PackageFact(pkg.Path(), &fact) {
+				for _, name := range fact.Blocking {
+					set[name] = true
+				}
+			}
+			imported[pkg.Path()] = set
+		}
+		return set[fn.FullName()]
+	}
+	blockingCall := func(call *ast.CallExpr) bool {
+		callee := calleeFunc(pass, call)
+		if callee == nil {
+			return false
+		}
+		if callee.Pkg() == pass.Pkg {
+			return blocking[callee]
+		}
+		return external(callee)
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, decl := range decls {
+			if blocking[obj] {
+				continue
+			}
+			if hasBlockingOp(pass, decl.Body, blockingCall) {
+				blocking[obj] = true
+				changed = true
+			}
+		}
+	}
+	return blocking
+}
+
+// lockChain renders the receiver of a Lock/Unlock call as a stable
+// name ("mu", "s.persistMu"); "" when it is not a plain ident chain.
+func lockChain(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if prefix := lockChain(e.X); prefix != "" {
+			return prefix + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// lockOp classifies a statement as Lock/Unlock on a sync mutex, returning
+// the lock's chain name.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (chain string, lock, unlock bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Signature().Recv() == nil {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return lockChain(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return lockChain(sel.X), false, true
+	}
+	return "", false, false
+}
+
+func checkHeldLocks(pass *analysis.Pass) {
+	blocking := blockingFuncs(pass)
+	imported := make(map[string]map[string]bool)
+	blockingCallee := func(call *ast.CallExpr) (string, bool) {
+		callee := calleeFunc(pass, call)
+		if callee == nil {
+			return "", false
+		}
+		if callee.Pkg() == pass.Pkg {
+			if blocking[callee] {
+				return callee.Name(), true
+			}
+			return "", false
+		}
+		if blockingRoot(callee) {
+			return callee.Pkg().Name() + "." + callee.Name(), true
+		}
+		pkg := callee.Pkg()
+		if pkg == nil {
+			return "", false
+		}
+		set, ok := imported[pkg.Path()]
+		if !ok {
+			set = make(map[string]bool)
+			var fact Fact
+			if pass.PackageFact(pkg.Path(), &fact) {
+				for _, name := range fact.Blocking {
+					set[name] = true
+				}
+			}
+			imported[pkg.Path()] = set
+		}
+		if set[callee.FullName()] {
+			return pkg.Name() + "." + callee.Name(), true
+		}
+		return "", false
+	}
+
+	heldDesc := func(held map[string]token.Pos) string {
+		chains := make([]string, 0, len(held))
+		for chain := range held {
+			chains = append(chains, chain)
+		}
+		sort.Strings(chains)
+		return strings.Join(chains, ", ")
+	}
+	noDefault := func(s *ast.SelectStmt) bool {
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				return false
+			}
+		}
+		return true
+	}
+	var checkList func(stmts []ast.Stmt, held map[string]token.Pos)
+	reportOps := func(stmt ast.Stmt, held map[string]token.Pos) {
+		if len(held) == 0 {
+			return
+		}
+		desc := heldDesc(held)
+		skip := make(map[ast.Node]bool)
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if skip[n] {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.GoStmt:
+				skip[n.Call] = true
+				return true
+			case *ast.DeferStmt:
+				skip[n.Call] = true
+				return true
+			case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+				*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt:
+				if n != stmt {
+					return false // nested statements get their own visit
+				}
+				return true
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "%s is held across a channel send — shrink the critical section", desc)
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "%s is held across a channel receive — shrink the critical section", desc)
+					return false
+				}
+			case *ast.CallExpr:
+				if name, isBlocking := blockingCallee(n); isBlocking {
+					pass.Reportf(n.Pos(), "%s is held across a call to %s, which may block — shrink the critical section or record the intent with //yield:allow(atomicsafe)", desc, name)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	checkList = func(stmts []ast.Stmt, held map[string]token.Pos) {
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if chain, lock, unlock := lockOp(pass, call); chain != "" {
+						if lock {
+							held[chain] = call.Pos()
+							continue
+						}
+						if unlock {
+							delete(held, chain)
+							continue
+						}
+					}
+				}
+			case *ast.DeferStmt:
+				// defer mu.Unlock() keeps the lock to function end; region
+				// tracking simply continues. Other defers run at return,
+				// outside the region.
+				continue
+			case *ast.SelectStmt:
+				// A select without a default is itself the blocking op.
+				if len(held) > 0 && noDefault(s) {
+					pass.Reportf(s.Pos(), "%s is held across a blocking select — shrink the critical section", heldDesc(held))
+				}
+				for _, sub := range stmtBodies(stmt) {
+					checkList(sub, held)
+				}
+				continue
+			}
+			reportOps(stmt, held)
+			for _, sub := range stmtBodies(stmt) {
+				checkList(sub, held)
+			}
+		}
+	}
+
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkList(fn.Body.List, make(map[string]token.Pos))
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkList(lit.Body.List, make(map[string]token.Pos))
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// stmtBodies returns the nested statement lists of one statement.
+func stmtBodies(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, []ast.Stmt{s.Else})
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, []ast.Stmt{s.Stmt})
+	}
+	return out
+}

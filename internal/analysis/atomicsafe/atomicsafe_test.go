@@ -1,0 +1,16 @@
+package atomicsafe_test
+
+import (
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/analysis/analysistest"
+	"github.com/cnfet/yieldlab/internal/analysis/atomicsafe"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, "atomrace", atomicsafe.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, "atomclean", atomicsafe.Analyzer)
+}

@@ -1,0 +1,59 @@
+// Package atomclean is the clean atomicsafe fixture: typed atomics,
+// consistent old-style atomics, locks released before blocking, and
+// lock-bearing values moved by pointer.
+package atomclean
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"atomcore"
+)
+
+// stats uses typed atomics: mixed representation is impossible.
+type stats struct {
+	hits atomic.Int64
+}
+
+func (s *stats) bump()       { s.hits.Add(1) }
+func (s *stats) read() int64 { return s.hits.Load() }
+
+// gen is old-style but accessed atomically everywhere.
+var gen int64
+
+func nextGen() int64 {
+	return atomic.AddInt64(&gen, 1)
+}
+
+type queue struct {
+	mu   sync.Mutex
+	vals []int
+	ch   chan int
+}
+
+// push releases the lock before the channel send.
+func (q *queue) push(v int) {
+	q.mu.Lock()
+	q.vals = append(q.vals, v)
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// drain holds no lock across the blocking callee.
+func (q *queue) drain() int {
+	q.mu.Lock()
+	n := len(q.vals)
+	q.mu.Unlock()
+	return n + atomcore.Drain(q.ch)
+}
+
+// borrow moves the lock by pointer, never by value.
+func borrow(q *queue) *sync.Mutex {
+	return &q.mu
+}
+
+// fresh constructs a new value; construction is not a copy.
+func fresh() *queue {
+	q := &queue{ch: make(chan int, 1)}
+	return q
+}

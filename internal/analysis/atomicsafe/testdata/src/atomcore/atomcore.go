@@ -1,0 +1,22 @@
+// Package atomcore is the atomicsafe fixture dependency: it owns a
+// counter field accessed through old-style sync/atomic (exported into
+// the atomicsafe fact) and a helper that blocks on a channel (exported
+// into the blocking-functions fact).
+package atomcore
+
+import "sync/atomic"
+
+// Counter counts hits with old-style atomics.
+type Counter struct {
+	Hits int64
+}
+
+// Add bumps the counter atomically.
+func (c *Counter) Add() {
+	atomic.AddInt64(&c.Hits, 1)
+}
+
+// Drain blocks until a value arrives.
+func Drain(ch chan int) int {
+	return <-ch
+}

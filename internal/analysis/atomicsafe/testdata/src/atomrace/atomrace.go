@@ -1,0 +1,98 @@
+// Package atomrace is the flagged atomicsafe fixture: mixed
+// atomic/plain access (local and via the cross-package fact), lock
+// copies, and locks held across blocking operations.
+package atomrace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atomcore"
+)
+
+var ops int64
+
+func bump() {
+	atomic.AddInt64(&ops, 1)
+}
+
+func readOps() int64 {
+	return ops // want "atomrace\.ops is accessed with sync/atomic elsewhere"
+}
+
+// readRemote touches a field the atomcore package manages atomically;
+// only the imported fact can know that.
+func readRemote(c *atomcore.Counter) int64 {
+	return c.Hits // want "atomcore\.Counter\.Hits is accessed with sync/atomic elsewhere"
+}
+
+type guard struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guard) int { // want "byValue passes guard by value, copying its lock state"
+	return g.n
+}
+
+func copyDeref(g *guard) int {
+	snapshot := *g // want "assignment copies lock-bearing value of type guard"
+	return snapshot.n
+}
+
+func rangeCopy(gs []guard) int {
+	total := 0
+	for _, g := range gs { // want "range copies lock-bearing values of type guard"
+		total += g.n
+	}
+	return total
+}
+
+type queue struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (q *queue) pushLocked(v int) {
+	q.mu.Lock()
+	q.ch <- v // want "q\.mu is held across a channel send"
+	q.mu.Unlock()
+}
+
+func (q *queue) popLocked() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want "q\.mu is held across a channel receive"
+}
+
+func (q *queue) sleepy() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // want "q\.mu is held across a call to time\.Sleep, which may block"
+	q.mu.Unlock()
+}
+
+// drainLocked blocks through a callee in another package; the blocking
+// reach arrives through the fact.
+func (q *queue) drainLocked() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return atomcore.Drain(q.ch) // want "q\.mu is held across a call to atomcore\.Drain, which may block"
+}
+
+func (q *queue) waitLocked() {
+	q.mu.Lock()
+	select { // want "q\.mu is held across a blocking select"
+	case <-q.ch:
+	}
+	q.mu.Unlock()
+}
+
+// flushWaived records why the slow operation stays under the lock.
+func (q *queue) flushWaived() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) //yield:allow(atomicsafe) fixture: the lock exists to serialize the slow flush
+	q.mu.Unlock()
+}
+
+var _ = bump

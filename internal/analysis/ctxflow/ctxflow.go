@@ -1,0 +1,267 @@
+// Package ctxflow implements the yieldvet analyzer enforcing context
+// discipline on the paths that reach sweep/Monte Carlo work.
+//
+// The invariant: once a function is on a call path into the compute
+// engines (rowyield, montecarlo, rareevent, renewal — the packages whose
+// work is long-running and span-instrumented), it must thread its caller's
+// context.Context rather than re-rooting one. Calling context.Background,
+// context.TODO or context.WithoutCancel inside such a function silently
+// severs cancellation and tracing for everything below it; when the
+// detachment is deliberate (an async job engine that outlives its
+// submitting request), the call site says so with a reasoned
+// //yield:allow(ctxflow) waiver. A context parameter that is accepted but
+// never used is flagged for the same reason: it advertises threading that
+// does not happen.
+//
+// Reachability is computed cross-package through the facts layer: each
+// package exports a ReachFact naming its functions that reach engine work,
+// and importing packages extend the closure from those names. Goroutine
+// launches (`go f()`) do not propagate reachability — a goroutine is a new
+// lifecycle, and the detachment rules apply inside the launched function
+// itself. Package main is exempt: binaries legitimately root their
+// contexts.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/cnfet/yieldlab/internal/analysis"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:         "ctxflow",
+	Doc:          "functions reaching sweep/MC work must thread context.Context, not re-root it",
+	Run:          run,
+	FactComputer: computeFact,
+}
+
+// ReachFact is the per-package fact: the fully-qualified names
+// ((*types.Func).FullName) of functions in the package that reach engine
+// work, sorted.
+type ReachFact struct {
+	Reach []string `json:"reach"`
+}
+
+// enginePackages are the import-path base names of the compute engines.
+var enginePackages = map[string]bool{
+	"rowyield":   true,
+	"montecarlo": true,
+	"rareevent":  true,
+	"renewal":    true,
+}
+
+func isEnginePath(path string) bool {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return enginePackages[path]
+}
+
+func computeFact(pass *analysis.Pass) (any, error) {
+	reach := reachingFuncs(pass)
+	names := make([]string, 0, len(reach))
+	for fn := range reach {
+		names = append(names, fn.FullName())
+	}
+	sort.Strings(names)
+	return ReachFact{Reach: names}, nil
+}
+
+// reachingFuncs returns the functions declared in this package that reach
+// engine work: every function of an engine package itself, plus the
+// fixpoint of "calls a reaching function" over the package's call graph,
+// seeded by calls into engine packages and by imported ReachFacts.
+func reachingFuncs(pass *analysis.Pass) map[*types.Func]bool {
+	reach := make(map[*types.Func]bool)
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fn
+			if isEnginePath(pass.Pkg.Path()) {
+				reach[obj] = true
+			}
+		}
+	}
+
+	// calls[f] lists f's direct callees, excluding goroutine launches.
+	calls := make(map[*types.Func][]*types.Func)
+	for obj, fn := range decls {
+		calls[obj] = callees(pass, fn)
+	}
+
+	imported := make(map[string]map[string]bool) // pkg path -> reaching names
+	external := func(callee *types.Func) bool {
+		pkg := callee.Pkg()
+		if pkg == nil || pkg == pass.Pkg {
+			return false
+		}
+		if isEnginePath(pkg.Path()) {
+			return true
+		}
+		set, ok := imported[pkg.Path()]
+		if !ok {
+			set = make(map[string]bool)
+			var fact ReachFact
+			if pass.PackageFact(pkg.Path(), &fact) {
+				for _, name := range fact.Reach {
+					set[name] = true
+				}
+			}
+			imported[pkg.Path()] = set
+		}
+		return set[callee.FullName()]
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for obj := range decls {
+			if reach[obj] {
+				continue
+			}
+			for _, callee := range calls[obj] {
+				if reach[callee] || external(callee) {
+					reach[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// callees resolves fn's direct callees. Calls that are the operand of a
+// `go` statement are excluded: goroutine launch is a lifecycle boundary.
+func callees(pass *analysis.Pass, fn *ast.FuncDecl) []*types.Func {
+	launched := make(map[*ast.CallExpr]bool)
+	var out []*types.Func
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			launched[n.Call] = true
+		case *ast.CallExpr:
+			if launched[n] {
+				return true // arguments still evaluate in the caller
+			}
+			if callee := calleeFunc(pass, n); callee != nil {
+				out = append(out, callee)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// calleeFunc resolves a call expression's callee to a *types.Func, nil for
+// builtins, conversions and dynamic calls through function values.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// rootFuncs are the context constructors banned in reaching library code.
+var rootFuncs = map[string]bool{
+	"Background":    true,
+	"TODO":          true,
+	"WithoutCancel": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	reach := reachingFuncs(pass)
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok || !reach[obj] {
+				continue
+			}
+			checkReaching(pass, fn, obj)
+		}
+	}
+	return nil
+}
+
+// checkReaching applies the ctxflow rules to one reaching function: no
+// context re-rooting in the body, and any context parameter must be used.
+func checkReaching(pass *analysis.Pass, fn *ast.FuncDecl, obj *types.Func) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if callee.Pkg().Path() == "context" && rootFuncs[callee.Name()] {
+			pass.Reportf(call.Pos(),
+				"%s reaches sweep/MC work but calls context.%s — thread the caller's ctx, or record deliberate detachment with //yield:allow(ctxflow)",
+				obj.Name(), callee.Name())
+		}
+		return true
+	})
+
+	sig := obj.Type().(*types.Signature)
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		if p.Name() == "" || p.Name() == "_" || !isContextType(p.Type()) {
+			continue
+		}
+		if !usesObject(pass, fn.Body, p) {
+			pass.Reportf(p.Pos(),
+				"%s accepts a context.Context (%s) that is never used — thread it into the sweep/MC work below",
+				obj.Name(), p.Name())
+		}
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func usesObject(pass *analysis.Pass, body *ast.BlockStmt, target types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == target {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/analysis/analysistest"
+	"github.com/cnfet/yieldlab/internal/analysis/ctxflow"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, "ctxpipe", ctxflow.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, "ctxclean", ctxflow.Analyzer)
+}

@@ -1,0 +1,27 @@
+// Package ctxclean is the clean ctxflow fixture: every path into MC work
+// threads its caller's context, and goroutine launches (a lifecycle
+// boundary) do not drag reachability into their launchers.
+package ctxclean
+
+import (
+	"context"
+
+	"mcutil"
+	"montecarlo"
+)
+
+// Estimate threads the caller's context all the way down.
+func Estimate(ctx context.Context, rounds int) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return mcutil.Estimate(ctx, rounds)
+}
+
+// fireAndForget launches MC work in a goroutine: the launcher is not a
+// reaching function, so rooting a context for unrelated bookkeeping is
+// allowed here.
+func fireAndForget() context.Context {
+	go montecarlo.Run(1)
+	return context.Background()
+}

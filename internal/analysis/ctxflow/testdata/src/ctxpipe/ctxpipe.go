@@ -1,0 +1,56 @@
+// Package ctxpipe is the flagged ctxflow fixture: functions reaching MC
+// work — directly, transitively, and through the mcutil fact — that
+// re-root or drop their contexts.
+package ctxpipe
+
+import (
+	"context"
+
+	"mcutil"
+	"montecarlo"
+)
+
+// direct calls the engine with a fresh root instead of threading one.
+func direct() (float64, error) {
+	ctx := context.Background() // want "direct reaches sweep/MC work but calls context\.Background"
+	return mcutil.Estimate(ctx, 100)
+}
+
+// todoRoot parks on a TODO context, which is just as detached.
+func todoRoot() (float64, error) {
+	ctx := context.TODO() // want "todoRoot reaches sweep/MC work but calls context\.TODO"
+	return mcutil.Estimate(ctx, 100)
+}
+
+// viaFact reaches MC work only through mcutil's exported ReachFact: no
+// engine package is imported here.
+func viaFact(n int) (float64, error) {
+	return mcutil.Estimate(context.Background(), n) // want "viaFact reaches sweep/MC work but calls context\.Background"
+}
+
+// unthreaded accepts a context and then ignores it.
+func unthreaded(ctx context.Context, rounds int) float64 { // want "unthreaded accepts a context\.Context \(ctx\) that is never used"
+	return montecarlo.Run(rounds)
+}
+
+// indirect reaches MC work through a local helper, so the fixpoint (not
+// the seed) marks it.
+func indirect() (float64, error) {
+	ctx := context.Background() // want "indirect reaches sweep/MC work but calls context\.Background"
+	return helper(ctx)
+}
+
+func helper(ctx context.Context) (float64, error) {
+	return mcutil.Estimate(ctx, 10)
+}
+
+// waived records its detachment, so only the directive layer sees it.
+func waived() (float64, error) {
+	ctx := context.Background() //yield:allow(ctxflow) fixture: deliberate detachment with a recorded reason
+	return mcutil.Estimate(ctx, 100)
+}
+
+// unrelated never reaches MC work; rooting a context here is fine.
+func unrelated() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,19 @@
+// Package mcutil wraps the engine package one level deep: it is not an
+// engine package itself, so importers can only learn that Estimate reaches
+// MC work from mcutil's exported ReachFact. The fixture exists to prove
+// facts flow across package boundaries.
+package mcutil
+
+import (
+	"context"
+
+	"montecarlo"
+)
+
+// Estimate reaches MC work through the engine package.
+func Estimate(ctx context.Context, rounds int) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return montecarlo.Run(rounds), nil
+}

@@ -1,0 +1,12 @@
+// Package montecarlo is an engine-package stand-in for the ctxflow
+// fixtures: its import-path base name marks it as sweep/MC work.
+package montecarlo
+
+// Run pretends to burn CPU on rounds.
+func Run(rounds int) float64 {
+	total := 0.0
+	for i := 0; i < rounds; i++ {
+		total += float64(i)
+	}
+	return total
+}

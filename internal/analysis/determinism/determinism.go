@@ -4,8 +4,9 @@
 // counts and across processes — that property backs the paper-anchor
 // comparisons, the /v2/query ETags and BENCH_BASELINE.json.
 //
-// In compute packages (dist, renewal, rowyield, montecarlo, query,
-// experiments, ...) the analyzer flags:
+// In compute packages — those declaring a //yield:compute line in their
+// package doc comment (dist, renewal, rowyield, montecarlo, rareevent,
+// query, experiments, ...) — the analyzer flags:
 //
 //   - the global math/rand functions (rand.Float64, rand.Intn, ...): all
 //     randomness must flow through an explicit *rand.Rand from
@@ -39,34 +40,15 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// computePackages names the packages whose evaluation must be
-// reproducible, by package name. The service/persistence layer (server,
-// sweepstore) and the sanctioned randomness wrapper (rng) are exempt:
-// servers legitimately read clocks and environments, and rng exists to own
-// the math/rand construction everything else must route through.
-var computePackages = map[string]bool{
-	"alignactive": true,
-	"celllib":     true,
-	"cntgrowth":   true,
-	"device":      true,
-	"dist":        true,
-	"experiments": true,
-	"fft":         true,
-	"montecarlo":  true,
-	"netlist":     true,
-	"noisemargin": true,
-	"numeric":     true,
-	"place":       true,
-	"power":       true,
-	"query":       true,
-	"renewal":     true,
-	"report":      true,
-	"rowyield":    true,
-	"stat":        true,
-	"tech":        true,
-	"widthdist":   true,
-	"yield":       true,
-}
+// Compute packages declare themselves with a //yield:compute line in
+// their package doc comment; the analyzer runs only on packages carrying
+// the directive. Self-declaration replaced a hardcoded name list that
+// silently went stale (it missed rareevent, whose estimates back the
+// paper anchors exactly like montecarlo's). The service/persistence
+// layer (server, sweepstore) and the sanctioned randomness wrapper (rng)
+// simply carry no directive: servers legitimately read clocks and
+// environments, and rng exists to own the math/rand construction
+// everything else must route through.
 
 // allowedRandFuncs are the math/rand package-level functions that carry no
 // hidden global state: constructors internal/rng itself builds on.
@@ -79,7 +61,7 @@ var impureFuncs = map[string]map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	if !computePackages[pass.Pkg.Name()] {
+	if !analysis.ParseDirectives(pass.Fset, pass.Files).Compute {
 		return nil
 	}
 	for _, file := range pass.NonTestFiles() {

@@ -1,5 +1,8 @@
-// Package rowyield is a determinism fixture: its name marks it as a
-// compute package, so nondeterminism sources must be flagged.
+// Package rowyield is a determinism fixture: the //yield:compute
+// directive below marks it as a compute package, so nondeterminism
+// sources must be flagged.
+//
+//yield:compute
 package rowyield
 
 import (

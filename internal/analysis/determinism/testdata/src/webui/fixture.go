@@ -1,5 +1,6 @@
-// Package webui is a clean fixture: it is not a compute package, so
-// clocks, environment reads and map-order writes are all legitimate here.
+// Package webui is a clean fixture: it carries no //yield:compute
+// directive, so clocks, environment reads and map-order writes are all
+// legitimate here.
 package webui
 
 import (

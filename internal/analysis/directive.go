@@ -22,12 +22,23 @@ import (
 //	    and stale suppressions (no diagnostic left to suppress) fail the
 //	    run, so annotations cannot outlive the code they excuse.
 //
+//	//yield:compute
+//	    in a package's doc comment: the package is part of the numeric
+//	    compute pipeline and opts into the determinism invariants. The
+//	    determinism analyzer discovers its targets through this directive
+//	    instead of a hardcoded package list, so new compute packages are
+//	    covered the moment they declare themselves.
+//
 // Directives use the //-comment form only, like //go: pragmas; a directive
 // inside a /* */ block is reported as malformed rather than ignored, so a
 // typo cannot silently disable enforcement.
 
 // DirNoalloc is the function-annotation directive name.
 const DirNoalloc = "noalloc"
+
+// DirCompute is the package-annotation directive name: a package whose doc
+// comment carries //yield:compute opts into the determinism invariants.
+const DirCompute = "compute"
 
 // An Allow is one parsed //yield:allow directive.
 type Allow struct {
@@ -48,6 +59,10 @@ type Directives struct {
 
 	// Noalloc holds the declarations annotated //yield:noalloc.
 	Noalloc []*ast.FuncDecl
+
+	// Compute reports whether any file's package doc carries
+	// //yield:compute.
+	Compute bool
 
 	// Problems are malformed directives: bad syntax, unknown directive
 	// names, missing reasons, misplaced noalloc annotations.
@@ -82,10 +97,19 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 				}
 			}
 		}
+		computeDocs := make(map[*ast.Comment]bool)
+		if f.Doc != nil {
+			for _, c := range f.Doc.List {
+				if strings.TrimSpace(c.Text) == "//yield:"+DirCompute {
+					computeDocs[c] = true
+					d.Compute = true
+				}
+			}
+		}
 		codeCols := codeColumns(fset, f)
 		for _, group := range f.Comments {
 			for _, c := range group.List {
-				d.parseComment(fset, fname, c, noallocDocs, codeCols)
+				d.parseComment(fset, fname, c, noallocDocs, computeDocs, codeCols)
 			}
 		}
 	}
@@ -112,7 +136,7 @@ func codeColumns(fset *token.FileSet, f *ast.File) map[int]int {
 	return cols
 }
 
-func (d *Directives) parseComment(fset *token.FileSet, fname string, c *ast.Comment, noallocDocs map[*ast.Comment]bool, codeCols map[int]int) {
+func (d *Directives) parseComment(fset *token.FileSet, fname string, c *ast.Comment, noallocDocs, computeDocs map[*ast.Comment]bool, codeCols map[int]int) {
 	text := c.Text
 	if !strings.Contains(text, "//yield:") && !strings.Contains(text, "yield:allow") &&
 		!strings.Contains(text, "yield:"+DirNoalloc) {
@@ -142,6 +166,20 @@ func (d *Directives) parseComment(fset *token.FileSet, fname string, c *ast.Comm
 			d.Problems = append(d.Problems, Diagnostic{
 				Pos:     c.Pos(),
 				Message: "//yield:noalloc must be part of a function's doc comment",
+			})
+		}
+	case m[1] == DirCompute:
+		if strings.TrimSpace(text) != "//yield:"+DirCompute {
+			d.Problems = append(d.Problems, Diagnostic{
+				Pos:     c.Pos(),
+				Message: "malformed //yield:compute directive: no arguments allowed",
+			})
+			return
+		}
+		if !computeDocs[c] {
+			d.Problems = append(d.Problems, Diagnostic{
+				Pos:     c.Pos(),
+				Message: "//yield:compute must be part of the package doc comment",
 			})
 		}
 	case strings.HasPrefix(m[1], "allow"):
@@ -187,7 +225,7 @@ func (d *Directives) parseComment(fset *token.FileSet, fname string, c *ast.Comm
 	default:
 		d.Problems = append(d.Problems, Diagnostic{
 			Pos:     c.Pos(),
-			Message: "unknown yield: directive " + m[1] + " (have allow, noalloc)",
+			Message: "unknown yield: directive " + m[1] + " (have allow, compute, noalloc)",
 		})
 	}
 }

@@ -69,6 +69,103 @@ func Dir(dir string) (*analysis.Target, error) {
 	return Files(fset, filepath.Base(dir), filenames, SourceImporter(fset), "")
 }
 
+// A FixtureLoader loads testdata/src-style fixture trees with
+// cross-package imports: the package with import path p lives in
+// <root>/p, imports naming a sibling fixture directory resolve to that
+// fixture (type-checked recursively), and everything else resolves from
+// GOROOT source. It exists so analyzer fixtures can exercise the
+// cross-package facts layer — a dependency package exporting a fact, a
+// consumer package being checked against it — without leaving the
+// hermetic, stdlib-only fixture world.
+type FixtureLoader struct {
+	root    string
+	fset    *token.FileSet
+	stdlib  types.Importer
+	cache   map[string]*fixtureEntry
+	loading map[string]bool
+	order   []string
+}
+
+type fixtureEntry struct {
+	target *analysis.Target
+	err    error
+}
+
+// NewFixtureLoader returns a loader rooted at a testdata/src-style
+// directory. The loader is not safe for concurrent use; drivers wanting
+// parallelism load sequentially and parallelize fact computation instead.
+func NewFixtureLoader(root string) *FixtureLoader {
+	fset := token.NewFileSet()
+	return &FixtureLoader{
+		root:    root,
+		fset:    fset,
+		stdlib:  SourceImporter(fset),
+		cache:   make(map[string]*fixtureEntry),
+		loading: make(map[string]bool),
+	}
+}
+
+// Fset returns the FileSet shared by every package this loader loads.
+func (l *FixtureLoader) Fset() *token.FileSet { return l.fset }
+
+// Load parses and type-checks the fixture package at <root>/<path>,
+// loading fixture dependencies first. Results are memoized.
+func (l *FixtureLoader) Load(path string) (*analysis.Target, error) {
+	if e, ok := l.cache[path]; ok {
+		return e.target, e.err
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through fixture %q", path)
+	}
+	l.loading[path] = true
+	target, err := l.load(path)
+	delete(l.loading, path)
+	l.cache[path] = &fixtureEntry{target: target, err: err}
+	if err == nil {
+		l.order = append(l.order, path)
+	}
+	return target, err
+}
+
+// Loaded returns the fixture import paths loaded so far, dependencies
+// before dependents — the order fact computation must follow.
+func (l *FixtureLoader) Loaded() []string {
+	out := make([]string, len(l.order))
+	copy(out, l.order)
+	return out
+}
+
+func (l *FixtureLoader) load(path string) (*analysis.Target, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		filenames = append(filenames, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		fixtureDir := filepath.Join(l.root, filepath.FromSlash(importPath))
+		if st, err := os.Stat(fixtureDir); err == nil && st.IsDir() {
+			t, err := l.Load(importPath)
+			if err != nil {
+				return nil, err
+			}
+			return t.Pkg, nil
+		}
+		return l.stdlib.Import(importPath)
+	})
+	return Files(l.fset, path, filenames, imp, "")
+}
+
 // check runs the type checker over parsed files.
 func check(fset *token.FileSet, importPath string, files []*ast.File, imp types.Importer, goVersion string) (*analysis.Target, error) {
 	info := analysis.NewInfo()

@@ -23,11 +23,26 @@ const DirectiveRule = "directive"
 // function-annotation directive and `yieldvet escape` consumes it outside
 // any analyzer run.
 func Check(target *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return CheckFacts(target, analyzers, nil)
+}
+
+// CheckFacts is Check with a cross-package fact set: analyzers consult the
+// facts of the target's dependencies via Pass.PackageFact. The caller is
+// responsible for having filled fs in dependency order (ComputeFacts or
+// ComputeFactsGraph); the target's own facts are computed here so an
+// analyzer sees its own package the same way importers will.
+func CheckFacts(target *Target, analyzers []*Analyzer, fs *FactSet) ([]Diagnostic, error) {
 	dirs := ParseDirectives(target.Fset, target.Files)
 
 	known := map[string]bool{DirNoalloc: true}
 	for _, a := range analyzers {
 		known[a.Name] = true
+	}
+
+	if fs != nil {
+		if err := ComputeFacts(target, analyzers, fs); err != nil {
+			return nil, err
+		}
 	}
 
 	var diags []Diagnostic
@@ -38,6 +53,7 @@ func Check(target *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     target.Files,
 			Pkg:       target.Pkg,
 			TypesInfo: target.Info,
+			facts:     fs,
 		}
 		pass.Report = func(d Diagnostic) {
 			d.Rule = a.Name

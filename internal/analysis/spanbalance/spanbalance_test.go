@@ -1,0 +1,16 @@
+package spanbalance_test
+
+import (
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/analysis/analysistest"
+	"github.com/cnfet/yieldlab/internal/analysis/spanbalance"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, "spans", spanbalance.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, "spansclean", spanbalance.Analyzer)
+}

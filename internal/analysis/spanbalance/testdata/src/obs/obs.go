@@ -1,0 +1,33 @@
+// Package obs mirrors the real span API's shape for the spanbalance
+// fixtures: same names, same signatures, no behavior.
+package obs
+
+import "context"
+
+// Span is the fixture span.
+type Span struct{ ended bool }
+
+// Start opens a span and derives a context carrying it.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	_ = name
+	return ctx, &Span{}
+}
+
+// StartLeaf opens a deliberate leaf span.
+func StartLeaf(ctx context.Context, name string) *Span {
+	_, sp := Start(ctx, name)
+	return sp
+}
+
+// End closes the span.
+func (s *Span) End() {
+	if s != nil {
+		s.ended = true
+	}
+}
+
+// SetAttr records an attribute.
+func (s *Span) SetAttr(key string, value any) { _, _ = key, value }
+
+// SetName renames the span.
+func (s *Span) SetName(name string) { _ = name }

@@ -1,0 +1,65 @@
+// Package spans is the flagged spanbalance fixture: spans that leak
+// through return paths, discarded derived contexts, and discarded spans.
+package spans
+
+import (
+	"context"
+	"errors"
+
+	"obs"
+)
+
+func step(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// missingEnd leaks its span through the early error return.
+func missingEnd(ctx context.Context) error {
+	ctx, sp := obs.Start(ctx, "work") // want "span sp is not ended on the return path"
+	if err := step(ctx); err != nil {
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+// fallsOff leaks its span by falling off the end of the function.
+func fallsOff(ctx context.Context) {
+	sp := obs.StartLeaf(ctx, "tail") // want "span sp is not ended before the function falls off the end"
+	sp.SetAttr("k", 1)
+}
+
+// discardedCtx hides a deliberate leaf span behind a dropped context:
+// under the discarded context every nested Start would silently become a
+// sibling, so the leaf must be spelled obs.StartLeaf.
+func discardedCtx(ctx context.Context) {
+	_, sp := obs.Start(ctx, "leaf") // want "derived context from obs.Start discarded"
+	defer sp.End()
+}
+
+// discardedSpan can never end what it started.
+func discardedSpan(ctx context.Context) context.Context {
+	ctx2, _ := obs.Start(ctx, "lost") // want "span from obs.Start discarded"
+	return ctx2
+}
+
+// fireAndForget drops both results on the floor.
+func fireAndForget(ctx context.Context) {
+	obs.Start(ctx, "untracked") // want "result of obs.Start discarded"
+}
+
+// endedInOneBranchOnly ends the span in the if body, which does not
+// dominate the return after it.
+func endedInOneBranchOnly(ctx context.Context, fast bool) error {
+	sp := obs.StartLeaf(ctx, "branchy") // want "span sp is not ended on the return path"
+	if fast {
+		sp.End()
+	}
+	return errors.New("done")
+}
+
+// waived records why the dropped context is fine.
+func waived(ctx context.Context) {
+	_, sp := obs.Start(ctx, "leaf") //yield:allow(spanbalance) fixture: legacy call site kept verbatim for the waiver test
+	defer sp.End()
+}

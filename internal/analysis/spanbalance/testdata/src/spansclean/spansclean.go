@@ -1,0 +1,90 @@
+// Package spansclean is the clean spanbalance fixture: every shape the
+// analyzer vouches for, none flagged.
+package spansclean
+
+import (
+	"context"
+
+	"obs"
+)
+
+func step(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// deferred is the canonical shape: derive, defer, thread.
+func deferred(ctx context.Context) error {
+	ctx, sp := obs.Start(ctx, "work")
+	defer sp.End()
+	return step(ctx)
+}
+
+// dominated ends the span explicitly before every return.
+func dominated(ctx context.Context) error {
+	ctx, sp := obs.Start(ctx, "work")
+	if err := step(ctx); err != nil {
+		sp.End()
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+// leaf makes the no-derived-context intent explicit with StartLeaf.
+func leaf(ctx context.Context, rounds int) float64 {
+	sp := obs.StartLeaf(ctx, "mc.run")
+	total := 0.0
+	for i := 0; i < rounds; i++ {
+		total += float64(i)
+	}
+	sp.SetAttr("rounds", rounds)
+	sp.End()
+	return total
+}
+
+// finish is an ender helper: it ends its span parameter on all paths, so
+// calling it counts as ending the span.
+func finish(sp *obs.Span, hit bool) {
+	if sp == nil {
+		return
+	}
+	if hit {
+		sp.SetName("sweep.cache_hit")
+	}
+	sp.End()
+}
+
+// viaEnder delegates the End to the helper.
+func viaEnder(ctx context.Context, hit bool) error {
+	sp := obs.StartLeaf(ctx, "sweep")
+	if err := step(ctx); err != nil {
+		sp.End()
+		return err
+	}
+	finish(sp, hit)
+	return nil
+}
+
+// deferredClosure ends through a deferred literal.
+func deferredClosure(ctx context.Context) error {
+	ctx, sp := obs.Start(ctx, "work")
+	defer func() {
+		sp.SetAttr("done", true)
+		sp.End()
+	}()
+	return step(ctx)
+}
+
+// guarded ends under a non-nil guard, which is semantically
+// unconditional: on a nil span End is a no-op anyway.
+func guarded(ctx context.Context) error {
+	ctx, sp := obs.Start(ctx, "work")
+	if err := step(ctx); err != nil {
+		sp.End()
+		return err
+	}
+	if sp != nil {
+		sp.End()
+	}
+	return nil
+}

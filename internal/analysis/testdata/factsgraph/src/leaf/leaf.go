@@ -1,0 +1,22 @@
+// Package leaf is the shared dependency of the facts-graph race fixture:
+// it exports an atomically-updated field, a blocking helper and a
+// context-root reacher, so every fact computer in the suite has something
+// non-trivial to record about it.
+package leaf
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Counter counts hits; Hits is updated atomically.
+type Counter struct{ Hits int64 }
+
+// Add bumps the counter.
+func (c *Counter) Add() { atomic.AddInt64(&c.Hits, 1) }
+
+// Drain blocks until ch yields a value.
+func Drain(ch chan int) int { return <-ch }
+
+// Detached mints a fresh root context.
+func Detached() context.Context { return context.Background() }

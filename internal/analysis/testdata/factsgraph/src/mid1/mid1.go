@@ -1,0 +1,17 @@
+// Package mid1 is one side of the fixture diamond.
+package mid1
+
+import (
+	"sync/atomic"
+
+	"leaf"
+)
+
+// Ops counts mid1 operations, atomically.
+var Ops int64
+
+// Bump records one operation.
+func Bump() { atomic.AddInt64(&Ops, 1) }
+
+// DrainAll forwards to the blocking leaf helper.
+func DrainAll(ch chan int) int { return leaf.Drain(ch) }

@@ -1,0 +1,14 @@
+// Package mid2 is the other side of the fixture diamond.
+package mid2
+
+import (
+	"context"
+
+	"leaf"
+)
+
+// Root reaches a context root through leaf.
+func Root() context.Context { return leaf.Detached() }
+
+// Count is a fresh counter wired to leaf's atomic field discipline.
+func Count() *leaf.Counter { return new(leaf.Counter) }

@@ -1,0 +1,15 @@
+// Package top closes the fixture diamond over mid1 and mid2.
+package top
+
+import (
+	"mid1"
+	"mid2"
+)
+
+// Run exercises both sides of the diamond.
+func Run(ch chan int) int {
+	mid1.Bump()
+	c := mid2.Count()
+	c.Add()
+	return mid1.DrainAll(ch)
+}

@@ -18,6 +18,8 @@
 // AOI222_X1 widens by ≈ 9 %, ~20 % of the 65 nm library pays 10–70 %, and
 // the library-wide offset spread reproduces Table 1's 26.5× partial-
 // correlation benefit.
+//
+//yield:compute
 package celllib
 
 import (

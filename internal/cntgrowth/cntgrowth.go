@@ -18,6 +18,8 @@
 // Geometry convention: everything is in nm; a CNFET channel is an axis-
 // aligned rectangle whose current flows along x, so a CNT is part of the
 // channel iff it crosses both vertical edges of the rectangle.
+//
+//yield:compute
 package cntgrowth
 
 import (

@@ -12,6 +12,8 @@
 // CalibratedPitch. The package also provides the inverse solver W(pF) used
 // by the Wmin optimization, and a drive-current model exhibiting the
 // 1/√N statistical-averaging law the paper cites as background.
+//
+//yield:compute
 package device
 
 import (

@@ -13,6 +13,8 @@
 //
 // All types are immutable after construction and safe for concurrent use;
 // randomness always comes from an explicit *rand.Rand (see package rng).
+//
+//yield:compute
 package dist
 
 import (

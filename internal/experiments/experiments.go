@@ -13,6 +13,8 @@
 //	fig3.2  — aligned-active transform of AOI222_X1
 //	fig3.3  — penalty vs node, before/after the co-optimization
 //	table2  — library-wide area penalty and Wmin for three configurations
+//
+//yield:compute
 package experiments
 
 import (

@@ -10,6 +10,8 @@
 // costs one N/2-point complex transform plus an O(N) unpack — so convolving
 // two real vectors costs two real transforms and one pointwise multiply once
 // one operand's spectrum is cached.
+//
+//yield:compute
 package fft
 
 import (

@@ -7,6 +7,8 @@
 // stopping on top of the same contract: the budget grows in doubling
 // blocks with per-block derived seeds, so even an adaptively stopped
 // estimate is a pure function of (seed, options, round function).
+//
+//yield:compute
 package montecarlo
 
 import (

@@ -4,6 +4,8 @@
 // mix matters for the yield models (transistor width distribution, critical
 // device density, lateral offset usage), so a netlist is a deterministic
 // multiset of cell instances.
+//
+//yield:compute
 package netlist
 
 import (

@@ -18,6 +18,8 @@
 // from VTC shifts; restoring logic stages relax it [Zolotov 02]). The
 // default is calibrated so the published "pRm ≥ 99.99%" requirement is
 // reproduced at the paper's 45 nm operating point; see the regression test.
+//
+//yield:compute
 package noisemargin
 
 import (

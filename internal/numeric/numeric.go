@@ -6,6 +6,8 @@
 // The implementations favour robustness over raw speed; every routine is
 // deterministic and allocation-light so it can sit inside Monte Carlo inner
 // loops and testing/quick properties.
+//
+//yield:compute
 package numeric
 
 import (

@@ -123,6 +123,33 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	return context.WithValue(ctx, spanKey, sp), sp
 }
 
+// StartLeaf opens a span exactly like Start but returns only the span: the
+// deliberate-leaf form for instrumenting a stretch of work that starts no
+// spans of its own (an MC round loop, a sweep kernel). Using StartLeaf
+// instead of discarding Start's derived context makes the intent
+// machine-checkable — the spanbalance analyzer flags a discarded derived
+// context, because under an accidentally-dropped context every nested
+// Start silently becomes a sibling. Nil-safe like Start.
+func StartLeaf(ctx context.Context, name string) *Span {
+	_, sp := Start(ctx, name)
+	return sp
+}
+
+// Detach returns a context carrying no tracer and no current span, for
+// handing to work that outlives the traced operation — e.g. async jobs
+// that keep running after their submitting request responds. Without
+// detachment, spans started by the orphaned work would keep mutating a
+// span tree the request handler is already reading (a data race), since
+// context.WithoutCancel severs cancellation but keeps values. Values
+// other than the tracer state are preserved.
+func Detach(ctx context.Context) context.Context {
+	if TracerFrom(ctx) == nil {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, tracerKey, (*Tracer)(nil))
+	return context.WithValue(ctx, spanKey, (*Span)(nil))
+}
+
 // Attr is one key/value span attribute.
 type Attr struct {
 	// Key names the attribute ("rounds", "tilt_theta", ...).

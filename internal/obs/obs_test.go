@@ -320,3 +320,55 @@ func TestWriteTraceEvents(t *testing.T) {
 		t.Fatalf("empty trace: %v %s", err, buf.String())
 	}
 }
+
+func TestStartLeaf(t *testing.T) {
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+	rootCtx, root := Start(ctx, "query.evaluate")
+	leaf := StartLeaf(rootCtx, "mc.run")
+	leaf.SetAttr("rounds", uint64(100))
+	leaf.End()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 1 || kids[0] != leaf {
+		t.Fatalf("leaf must nest under the parent span: %v", kids)
+	}
+	if v, ok := leaf.AttrValue("rounds"); !ok || v.(uint64) != 100 {
+		t.Fatalf("rounds attr = %v %v", v, ok)
+	}
+	// Without a tracer StartLeaf is a nil no-op, like Start.
+	if sp := StartLeaf(context.Background(), "x"); sp != nil {
+		t.Fatalf("StartLeaf without tracer: %v", sp)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	tr := New()
+	type extraKey struct{}
+	ctx := context.WithValue(WithTracer(context.Background(), tr), extraKey{}, "kept")
+	rootCtx, root := Start(ctx, "submit")
+	root.End()
+
+	det := Detach(rootCtx)
+	if TracerFrom(det) != nil {
+		t.Fatal("detached context must carry no tracer")
+	}
+	if det.Value(extraKey{}) != "kept" {
+		t.Fatal("Detach must preserve non-tracer values")
+	}
+	// Spans started under a detached context vanish instead of mutating
+	// the original tracer's tree.
+	_, orphan := Start(det, "job.run")
+	if orphan != nil {
+		t.Fatalf("span under detached context: %v", orphan)
+	}
+	if got := len(tr.Roots()); got != 1 {
+		t.Fatalf("detached work leaked into the span tree: %d roots", got)
+	}
+	// Detaching an untraced context is the identity.
+	bare := context.Background()
+	if Detach(bare) != bare {
+		t.Fatal("Detach of an untraced context must be a no-op")
+	}
+}

@@ -4,6 +4,8 @@
 // Pmin-CNFET, the linear density of critical (minimum-size) CNFETs along a
 // row (1.8 FETs/µm in the paper's OpenRISC design), and the lateral offset
 // usage of those devices in global row coordinates.
+//
+//yield:compute
 package place
 
 import (

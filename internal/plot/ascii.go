@@ -2,6 +2,8 @@
 // ASCII line/bar charts for terminal output (including the log-scale pF
 // curves of Fig. 2.1), a minimal SVG writer for the layout artwork of
 // Figs. 3.1/3.2, and CSV emission for downstream tooling.
+//
+//yield:compute
 package plot
 
 import (

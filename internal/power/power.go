@@ -3,6 +3,8 @@
 // (a proxy for both dynamic and static power, Section 2.2), and sweeps it
 // across technology nodes under the rule that transistor widths scale with
 // the node while the inter-CNT pitch stays at 4 nm (Figs. 2.2b and 3.3).
+//
+//yield:compute
 package power
 
 import (

@@ -1,0 +1,52 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cnfet/yieldlab/internal/analysis/apilock"
+)
+
+// TestFingerprintCorpus replays the apilock-pinned QuerySpec corpus through
+// the live parser and canonicalizer. A mismatch here means the canonical
+// encoding changed, which silently re-keys every cached result and ETag —
+// exactly the drift class `yieldvet apilock` gates in CI; this test makes
+// `go test ./...` catch it too, with no yieldvet invocation needed.
+//
+// The dependency points this way on purpose: apilock (an analyzer) must not
+// import the package it pins, so the corpus lives there as data and the
+// recomputation happens here, where Spec is in scope.
+func TestFingerprintCorpus(t *testing.T) {
+	entries, err := apilock.Corpus()
+	if err != nil {
+		t.Fatalf("loading pinned corpus: %v", err)
+	}
+	if len(entries) < 8 {
+		t.Fatalf("corpus has %d entries; the pinned set should cover every Kind (want >= 8)", len(entries))
+	}
+	seen := make(map[string]bool)
+	for _, entry := range entries {
+		if entry.Name == "" {
+			t.Fatal("corpus entry with empty name")
+		}
+		if seen[entry.Name] {
+			t.Fatalf("duplicate corpus entry %q", entry.Name)
+		}
+		seen[entry.Name] = true
+		if !strings.HasPrefix(entry.Fingerprint, "qs1-") {
+			t.Fatalf("corpus entry %q: fingerprint %q lacks the qs1- version prefix", entry.Name, entry.Fingerprint)
+		}
+		spec, err := Parse(entry.Spec)
+		if err != nil {
+			t.Fatalf("corpus entry %q: parsing spec: %v", entry.Name, err)
+		}
+		_, fp, err := spec.Canonical()
+		if err != nil {
+			t.Fatalf("corpus entry %q: canonicalizing: %v", entry.Name, err)
+		}
+		if fp != entry.Fingerprint {
+			t.Errorf("corpus entry %q: fingerprint = %s, pinned %s — canonical encoding changed; if intended, bump the qs prefix and run 'yieldvet apilock -update'",
+				entry.Name, fp, entry.Fingerprint)
+		}
+	}
+}

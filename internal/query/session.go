@@ -274,7 +274,7 @@ func (s *Session) evalPF(ctx context.Context, q Spec) (*PFResult, error) {
 	// The sweep span covers model acquisition and the probability lookup:
 	// swept tables grow lazily, so a cached model can still sweep here when
 	// asked for a width it has not seen.
-	_, sp := obs.Start(ctx, "sweep")
+	sp := obs.StartLeaf(ctx, "sweep")
 	m, hit, err := s.model(params, q)
 	if err != nil {
 		sp.End()
@@ -318,7 +318,7 @@ func (s *Session) evalWmin(ctx context.Context, q Spec) (*WminResult, error) {
 	}
 	// The Wmin search is sweep-dominated: every probed width evaluates the
 	// swept count table, so the whole solve sits under the sweep span.
-	_, sp := obs.Start(ctx, "sweep")
+	sp := obs.StartLeaf(ctx, "sweep")
 	model, hit, err := s.model(params, q)
 	if err != nil {
 		sp.End()
@@ -373,7 +373,7 @@ func (s *Session) evalRowYield(ctx context.Context, q Spec) (*RowYieldResult, er
 	if s.opts.MaxRowRounds > 0 && rounds > s.opts.MaxRowRounds {
 		return nil, badRequest(fmt.Errorf("rounds %d exceeds limit %d", rounds, s.opts.MaxRowRounds))
 	}
-	_, sp := obs.Start(ctx, "sweep")
+	sp := obs.StartLeaf(ctx, "sweep")
 	model, hit, err := s.model(params, q)
 	if err != nil {
 		sp.End()
@@ -441,7 +441,7 @@ func (s *Session) evalRowYield(ctx context.Context, q Spec) (*RowYieldResult, er
 			}
 			break
 		}
-		_, msp := obs.Start(ctx, "mc.run")
+		msp := obs.StartLeaf(ctx, "mc.run")
 		est, err := rm.EstimateRowFailureWith(scenario, rounds,
 			montecarlo.Options{Seed: seed, Workers: s.params.Workers, Counters: msp.MC()})
 		if err != nil {
@@ -519,7 +519,7 @@ func (s *Session) evalNoise(ctx context.Context, q Spec) (*NoiseResult, error) {
 	if desired == 0 {
 		desired = s.params.DesiredYield
 	}
-	_, sp := obs.Start(ctx, "sweep")
+	sp := obs.StartLeaf(ctx, "sweep")
 	model, hit, err := s.model(params, q)
 	if err != nil {
 		sp.End()

@@ -21,6 +21,8 @@
 // response caching and HTTP ETags. Expand() turns sweep axes into the
 // deterministic cartesian product of concrete specs, opening the ROADMAP's
 // pitch × corner × node × yield-target exploration as a single request.
+//
+//yield:compute
 package query
 
 import (

@@ -28,6 +28,8 @@
 // across worker counts. Auto selects between the methods from the pilot:
 // the candidate with the lowest measured variance per round wins, falling
 // back to splitting when neither plain nor tilted rounds see any mass.
+//
+//yield:compute
 package rareevent
 
 import (
@@ -206,7 +208,12 @@ func (e Estimate) RelErr() float64 {
 // rare-event methods — it has the closed form rowyield.IndependentRowFailure
 // and needs no sampling. A model with per-CNT failure zero short-circuits to
 // an exact zero.
+//
+// Deprecated: use EstimateRowFailureContext. This shim detaches from any
+// caller context, so runs started through it can never carry the caller's
+// tracer; it is kept only until the remaining context-less callers migrate.
 func EstimateRowFailure(m *rowyield.RowModel, scenario rowyield.Scenario, opt Options) (Estimate, error) {
+	//yield:allow(ctxflow) deprecated context-less shim: detachment is its documented contract until callers migrate to EstimateRowFailureContext
 	return EstimateRowFailureContext(context.Background(), m, scenario, opt)
 }
 
@@ -237,7 +244,7 @@ func EstimateRowFailureContext(ctx context.Context, m *rowyield.RowModel, scenar
 		if err != nil {
 			return Estimate{}, err
 		}
-		_, psp := obs.Start(ctx, "mc.pilot")
+		psp := obs.StartLeaf(ctx, "mc.pilot")
 		theta, pilotRounds, err := bestTilt(m, scenario, ladder, opt)
 		psp.SetAttr("candidates", len(ladder))
 		psp.SetAttr("rounds", pilotRounds)
@@ -288,7 +295,7 @@ func endRunSpan(sp *obs.Span, est Estimate, err error) {
 
 // estimatePlain runs the base rounds under adaptive stopping.
 func estimatePlain(ctx context.Context, m *rowyield.RowModel, scenario rowyield.Scenario, opt Options, extraRounds int) (Estimate, error) {
-	_, sp := obs.Start(ctx, "mc.run")
+	sp := obs.StartLeaf(ctx, "mc.run")
 	est, err := montecarlo.RunStateAdaptive(m.NewRoundState,
 		func(r *rand.Rand, st *rowyield.RoundState) (float64, error) {
 			return m.Round(r, scenario, st)
@@ -308,7 +315,7 @@ func estimateTilted(ctx context.Context, m *rowyield.RowModel, scenario rowyield
 	if err != nil {
 		return Estimate{}, err
 	}
-	_, sp := obs.Start(ctx, "mc.run")
+	sp := obs.StartLeaf(ctx, "mc.run")
 	est, err := montecarlo.RunStateAdaptive(tm.NewRoundState,
 		func(r *rand.Rand, st *rowyield.RoundState) (float64, error) {
 			return tm.Round(r, scenario, st)
@@ -357,7 +364,7 @@ func estimateAuto(ctx context.Context, m *rowyield.RowModel, scenario rowyield.S
 	if lerr != nil {
 		ladder = nil // non-tiltable pitch law: auto degrades to plain vs splitting
 	}
-	_, psp := obs.Start(ctx, "mc.pilot")
+	psp := obs.StartLeaf(ctx, "mc.pilot")
 	plain, err := runPilot(m, scenario, 0, 0, opt)
 	if err != nil {
 		psp.End()

@@ -128,7 +128,7 @@ func estimateSplitting(ctx context.Context, m *rowyield.RowModel, scenario rowyi
 	if minReplicas > maxReplicas {
 		minReplicas = maxReplicas
 	}
-	_, sp := obs.Start(ctx, "mc.run")
+	sp := obs.StartLeaf(ctx, "mc.run")
 	est, err := montecarlo.RunStateAdaptive(e.newScratch,
 		func(r *rand.Rand, sc *splitScratch) (float64, error) {
 			return e.replica(r, sc), nil

@@ -20,6 +20,8 @@
 //     exactly, which the tests assert.
 //   - Ordinary: a CNT sits just before the window and the first in-window
 //     CNT is a full pitch away. Used as an ablation.
+//
+//yield:compute
 package renewal
 
 import (

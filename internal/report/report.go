@@ -1,6 +1,8 @@
 // Package report formats experiment results as aligned text tables and
 // tracks paper-vs-measured comparison records — the machinery behind
 // EXPERIMENTS.md and the cnfetyield CLI output.
+//
+//yield:compute
 package report
 
 import (

@@ -29,6 +29,8 @@
 // tracks, each track fails independently with probability pf, and the row
 // fails iff some interval is fully failed. P(no interval fully failed) is
 // computed exactly in O(tracks × max interval length).
+//
+//yield:compute
 package rowyield
 
 import (

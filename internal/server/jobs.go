@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/obs"
 	"github.com/cnfet/yieldlab/internal/query"
 )
 
@@ -52,6 +53,11 @@ type jobRecord struct {
 	id    string
 	state string
 	err   string
+
+	// ctx is the submitter's request context. The job deliberately
+	// outlives the request: run detaches cancellation (and the request's
+	// tracer) before evaluating, keeping only the request's values.
+	ctx context.Context
 
 	// Experiments jobs.
 	names   []string
@@ -124,6 +130,11 @@ func (e *jobEngine) enqueue(j *jobRecord) (JobJSON, error) {
 	}
 	e.nextID++
 	j.id = fmt.Sprintf("job-%d", e.nextID)
+	if j.ctx == nil {
+		// Direct construction in tests; handlers always pass a request
+		// context through submit/submitQuery.
+		j.ctx = context.Background()
+	}
 	j.state = JobQueued
 	j.created = time.Now()
 	e.jobs[j.id] = j
@@ -141,8 +152,9 @@ func (e *jobEngine) enqueue(j *jobRecord) (JobJSON, error) {
 // Open (queued or running) jobs are bounded by the same maxJobs knob as the
 // retained history, so a submit flood is refused instead of growing records
 // and goroutines without limit.
-func (e *jobEngine) submit(runner *experiments.Runner, names []string, workers int) (JobJSON, error) {
+func (e *jobEngine) submit(ctx context.Context, runner *experiments.Runner, names []string, workers int) (JobJSON, error) {
 	return e.enqueue(&jobRecord{
+		ctx:     ctx,
 		names:   append([]string(nil), names...),
 		runner:  runner,
 		workers: workers,
@@ -150,9 +162,10 @@ func (e *jobEngine) submit(runner *experiments.Runner, names []string, workers i
 }
 
 // submitQuery queues a query-sweep job over a canonical spec.
-func (e *jobEngine) submitQuery(session *query.Session, spec query.Spec, fingerprint string) (JobJSON, error) {
+func (e *jobEngine) submitQuery(ctx context.Context, session *query.Session, spec query.Spec, fingerprint string) (JobJSON, error) {
 	specCopy := spec
 	return e.enqueue(&jobRecord{
+		ctx:         ctx,
 		spec:        &specCopy,
 		fingerprint: fingerprint,
 		session:     session,
@@ -170,11 +183,17 @@ func (e *jobEngine) run(j *jobRecord) {
 	j.started = time.Now()
 	e.mu.Unlock()
 
+	// The job outlives its submitting request by design: keep the request's
+	// values but drop its cancellation (the client already got 202 and polls
+	// by job ID) and its tracer (the request span tree is finished by now;
+	// attributing sweep spans to it would race with the response path).
+	jobCtx := obs.Detach(context.WithoutCancel(j.ctx)) //yield:allow(ctxflow) async job engine: detachment from the request lifecycle is the documented contract
+
 	var err error
 	if j.spec != nil {
 		// Query sweeps checkpoint partial results as the completed prefix
 		// grows, so a polling client watches the sweep fill in.
-		_, err = j.session.EvaluateAllFunc(context.Background(), *j.spec,
+		_, err = j.session.EvaluateAllFunc(jobCtx, *j.spec,
 			func(done, total int, r query.Result) {
 				e.mu.Lock()
 				j.qresults = append(j.qresults, r)

@@ -647,7 +647,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if isAsync(r) {
-		job, err := s.jobs.submitQuery(s.session, canon, fp)
+		job, err := s.jobs.submitQuery(r.Context(), s.session, canon, fp)
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
@@ -741,7 +741,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		workers = req.Workers
 	}
 
-	job, err := s.jobs.submit(runner, names, workers)
+	job, err := s.jobs.submit(r.Context(), runner, names, workers)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return

@@ -2,6 +2,8 @@
 // simulators, the Monte Carlo engine and the experiment reports: moments,
 // quantiles, correlation, online (Welford) accumulation, histograms and
 // binomial confidence intervals.
+//
+//yield:compute
 package stat
 
 import (

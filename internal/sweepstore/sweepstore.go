@@ -115,6 +115,15 @@ func (s *Store) Save(fingerprint string, snap *renewal.Snapshot) error {
 	}
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
+	// Serializing the whole read-compare-write against concurrent savers is
+	// this lock's entire purpose: the widen-only guarantee needs the read
+	// and the rename to be one atomic step, so the file I/O stays inside
+	// the critical section by design.
+	return s.saveLocked(fingerprint, snap) //yield:allow(atomicsafe) saveMu exists to serialize whole-file persists; the read-compare-rename must be atomic under it
+}
+
+// saveLocked performs the read-compare-write cycle; saveMu must be held.
+func (s *Store) saveLocked(fingerprint string, snap *renewal.Snapshot) error {
 	path := filepath.Join(s.dir, fileName(fingerprint, snap))
 	if old, err := s.loadFile(path); err == nil && old.Snapshot.SweptTo >= snap.SweptTo {
 		return nil

@@ -3,6 +3,8 @@
 // the one stated in Section 2.2 — CNFET width distributions scale linearly
 // with the node, while the inter-CNT pitch stays constant at 4 nm — which is
 // exactly why the upsizing penalty explodes at scaled nodes.
+//
+//yield:compute
 package tech
 
 import "fmt"

@@ -5,6 +5,8 @@
 // the Wmin optimization (which fraction of devices sits below a threshold),
 // the upsizing-penalty model (total width added), and the scaling analysis
 // (widths shrink with the node while the CNT pitch does not).
+//
+//yield:compute
 package widthdist
 
 import (

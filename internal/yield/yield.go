@@ -10,6 +10,8 @@
 // The correlated (row-based) refinement of Section 3 lives in package
 // rowyield; this package covers the uncorrelated baseline that defines the
 // paper's cost problem.
+//
+//yield:compute
 package yield
 
 import (
