@@ -11,7 +11,21 @@
 //
 // With -store DIR the server persists swept renewal tables: a restart (or a
 // second process on the same directory) answers its first pF query from the
-// stored tables without recomputing any sweep.
+// stored tables without recomputing any sweep. Async jobs are journaled
+// under DIR/jobs, so a restarted server re-adopts them: finished jobs stay
+// queryable at /v1/jobs/{id} and interrupted ones resume from their last
+// checkpointed results.
+//
+// Overload protection: -request-timeout bounds each request's handling
+// time and -max-inflight bounds synchronous /v2/query sweeps computing at
+// once; excess sweeps are shed with a retryable 503 and Retry-After while
+// ETag revalidations keep answering 304. On SIGTERM the server stops
+// accepting requests, waits -drain-timeout for running jobs, then persists
+// its caches; jobs still running at the deadline resume on the next start.
+//
+// Chaos testing: -failpoints (or YIELD_FAILPOINTS) arms named fault
+// sites — see internal/fault — with error/delay/panic actions, e.g.
+// "store.save=error(disk full)@p=0.1,seed=7;query.evaluate=delay(50ms)".
 //
 // With -pprof the net/http/pprof endpoints are mounted at /debug/pprof on
 // the service port, so hot paths can be profiled in situ.
@@ -32,10 +46,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"github.com/cnfet/yieldlab"
+	"github.com/cnfet/yieldlab/internal/fault"
 	"github.com/cnfet/yieldlab/internal/renewal"
 )
 
@@ -59,6 +75,10 @@ func run() error {
 		workers   = flag.Int("workers", 0, "worker goroutines for jobs and Monte Carlo (0 = NumCPU)")
 		calibrate = flag.Bool("calibrate", true, "measure the FFT/direct convolution crossover at startup")
 		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof profiling endpoints")
+		reqTO     = flag.Duration("request-timeout", 0, "per-request handling deadline (0 = none)")
+		inflight  = flag.Int("max-inflight", 0, "concurrent synchronous /v2/query sweeps before shedding (0 = default, negative = unbounded)")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM grace for running jobs before they are left to resume on next start (0 = wait forever)")
+		failpoint = flag.String("failpoints", "", "arm fault-injection sites, e.g. \"store.save=error@p=0.1,seed=7\" (also via "+fault.EnvVar+")")
 		slowCap   = flag.Int("slowlog-entries", 0, "slow-query ring capacity for /debug/slowlog (0 = default 64)")
 		slowThr   = flag.Duration("slowlog-threshold", 25*time.Millisecond, "record requests at least this slow in /debug/slowlog (0 = record every request)")
 		version   = flag.Bool("version", false, "print version and build info, then exit")
@@ -90,14 +110,30 @@ func run() error {
 	}
 	params.Workers = *workers
 
+	// Failpoints arm before the server is built, so even adoption-time
+	// store reads run under the configured faults.
+	if err := fault.EnableFromEnv(); err != nil {
+		return err
+	}
+	if *failpoint != "" {
+		if err := fault.EnableSpecs(*failpoint); err != nil {
+			return err
+		}
+	}
+	if fault.Enabled() {
+		log.Printf("fault injection armed: %s", *failpoint+os.Getenv(fault.EnvVar))
+	}
+
 	cfg := yieldlab.ServerConfig{
-		Params:           params,
-		CacheEntries:     *cacheCap,
-		MaxJobs:          *maxJobs,
-		ConcurrentJobs:   *jobs,
-		Logger:           slog.New(slog.NewTextHandler(os.Stderr, nil)),
-		SlowLogEntries:   *slowCap,
-		SlowLogThreshold: *slowThr,
+		Params:            params,
+		CacheEntries:      *cacheCap,
+		MaxJobs:           *maxJobs,
+		ConcurrentJobs:    *jobs,
+		Logger:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		SlowLogEntries:    *slowCap,
+		SlowLogThreshold:  *slowThr,
+		RequestTimeout:    *reqTO,
+		MaxInFlightSweeps: *inflight,
 	}
 	if *slowThr == 0 {
 		// An explicit zero means "record everything": the Config field treats
@@ -111,6 +147,12 @@ func run() error {
 		}
 		cfg.Store = store
 		log.Printf("sweep store at %s", store.Dir())
+		journal, err := yieldlab.OpenJobStore(filepath.Join(*storeDir, "jobs"))
+		if err != nil {
+			return err
+		}
+		cfg.Jobs = journal
+		log.Printf("job journal at %s", journal.Dir())
 	}
 	if *calibrate {
 		log.Printf("convolution crossover ratio: %.2f", renewal.Calibrate())
@@ -140,6 +182,11 @@ func run() error {
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// WriteTimeout backstops the per-request deadline so a wedged
+		// handler cannot hold a connection forever; generous because cold
+		// sweeps legitimately take a while.
+		WriteTimeout: 5 * time.Minute,
 	}
 
 	errCh := make(chan error, 1)
@@ -163,8 +210,10 @@ func run() error {
 			log.Printf("shutdown: %v", err)
 		}
 	}
-	// Drain jobs and persist the sweep cache before exiting.
-	if err := srv.Close(); err != nil {
+	// Drain jobs (bounded by -drain-timeout) and persist the sweep cache
+	// before exiting; journaled jobs missing the deadline resume on the
+	// next start from their checkpointed results.
+	if err := srv.Shutdown(*drainTO); err != nil {
 		return fmt.Errorf("persisting sweep cache: %w", err)
 	}
 	return nil

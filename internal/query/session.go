@@ -10,6 +10,7 @@ import (
 	"github.com/cnfet/yieldlab/internal/device"
 	"github.com/cnfet/yieldlab/internal/dist"
 	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/fault"
 	"github.com/cnfet/yieldlab/internal/montecarlo"
 	"github.com/cnfet/yieldlab/internal/noisemargin"
 	"github.com/cnfet/yieldlab/internal/obs"
@@ -232,6 +233,11 @@ func (s *Session) Evaluate(ctx context.Context, q Spec) (Result, error) {
 		return Result{}, badRequest(fmt.Errorf("query: spec has sweep axes; use EvaluateAll"))
 	}
 	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	// Chaos-testing hook: one atomic load in production, an injected
+	// error/delay/panic when the query.evaluate site is armed.
+	if err := fault.InjectContext(ctx, fault.SiteQueryEvaluate); err != nil {
 		return Result{}, err
 	}
 	ctx, sp := obs.Start(ctx, "query.evaluate")

@@ -23,9 +23,10 @@ import (
 // condition, convolution mode), so a cache hit can never change a result.
 // Laws without a fingerprint get a fresh model each call.
 //
-// A SweepCache is safe for concurrent use. Models grow their internal width
-// cache monotonically and are themselves concurrency-safe, so handing one
-// model to many goroutines is the intended use. Long-lived servers should
+// A SweepCache is safe for concurrent use. Models fill their internal width
+// table with one canonical full-grid sweep and are themselves
+// concurrency-safe, so handing one model to many goroutines is the intended
+// use. Long-lived servers should
 // bound the cache with SetMaxEntries: eviction drops the least-recently-used
 // model from the cache (callers holding it keep a valid model; only the
 // sharing is forgotten).

@@ -294,18 +294,26 @@ func (m *Model) CountPMFs(ws []float64) ([]dist.PMF, error) {
 }
 
 // sweep runs the arrival-position convolution once and caches the count PMF
-// for every grid index up to maxIdx, so later queries anywhere below the
-// sweep horizon are free. A sweep costs one discrete convolution per arrival
-// order k — dispatched per step between the direct, blocked and FFT kernels
-// (see conv.go) — and the per-k prefix sum that serves all indexes at once
-// is what makes whole-curve generation cheap.
+// for every index of the full grid, so every later query on this model is
+// free. A sweep costs one discrete convolution per arrival order k —
+// dispatched per step between the direct, blocked and FFT kernels (see
+// conv.go) — and the per-k prefix sum that serves all indexes at once is
+// what makes whole-curve generation cheap.
+//
+// The horizon is deliberately canonical — always the whole grid, never just
+// the requested index. Kernel dispatch and FFT roundoff depend on the sweep
+// length, so lazily grown tables would make a cached PMF depend on which
+// query happened to be swept first (and, under concurrent requests, on
+// goroutine scheduling). One fixed horizon makes every PMF a pure function
+// of the model configuration — the property behind the sweep cache's "a hit
+// can never change a result" contract, the persistent store's snapshots,
+// and the job journal's byte-identical crash resumption.
 //
 // Concurrent sweeps of one model are deduplicated singleflight-style: while
-// one goroutine computes, identical (or narrower) requests wait on its
-// result instead of redoing the convolution, and a wider request takes over
-// once the running sweep finishes. Sweeps() counts the sweeps actually
-// computed, which is what lets tests and the server's /v1/stats prove that a
-// warmed cache answered without recomputation.
+// one goroutine computes, every other request waits on its result instead
+// of redoing the convolution. Sweeps() counts the sweeps actually computed,
+// which is what lets tests and the server's /v1/stats prove that a warmed
+// cache answered without recomputation.
 func (m *Model) sweep(maxIdx int) error {
 	if maxIdx == 0 {
 		return nil
@@ -325,13 +333,19 @@ func (m *Model) sweep(maxIdx int) error {
 	m.sweeps++
 	m.mu.Unlock()
 
-	err := m.runSweep(maxIdx)
+	err := m.runSweep(m.fullHorizon())
 
 	m.mu.Lock()
 	m.sweeping = false
 	m.sweepDone.Broadcast()
 	m.mu.Unlock()
 	return err
+}
+
+// fullHorizon is the grid index of the model's maximum width — the one
+// canonical sweep length.
+func (m *Model) fullHorizon() int {
+	return int(math.Round(m.maxWidth / m.step))
 }
 
 // Sweeps returns how many arrival sweeps this model has actually computed.

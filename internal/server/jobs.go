@@ -2,11 +2,18 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/fault"
+	"github.com/cnfet/yieldlab/internal/jobstore"
 	"github.com/cnfet/yieldlab/internal/obs"
 	"github.com/cnfet/yieldlab/internal/query"
 )
@@ -82,6 +89,12 @@ type jobRecord struct {
 // Each job parallelizes internally (the concurrent Runner for experiment
 // batches, the session's worker pool for query sweeps); the engine's own
 // bound limits how many jobs compute at once.
+//
+// With a journal attached, every admitted job is durable: its spec,
+// state transitions and a stride-throttled prefix of its results are
+// persisted, so a process death loses at most the work since the last
+// checkpoint, never the job itself. adopt restores the journal on the
+// next start.
 type jobEngine struct {
 	mu      sync.Mutex
 	jobs    map[string]*jobRecord
@@ -92,9 +105,16 @@ type jobEngine struct {
 	sem    chan struct{} // bounds concurrently running jobs
 	wg     sync.WaitGroup
 	onDone func() // called after each job finishes (cache persistence hook)
+
+	// journal, when non-nil, persists job records across restarts.
+	// Journal writes are best-effort: a failed Put degrades durability
+	// (counted, surfaced in stats) but never fails the job itself.
+	journal        *jobstore.Store
+	journalErrs    atomic.Uint64
+	lastJournalErr atomic.Pointer[string]
 }
 
-func newJobEngine(maxJobs, concurrent int, onDone func()) *jobEngine {
+func newJobEngine(maxJobs, concurrent int, onDone func(), journal *jobstore.Store) *jobEngine {
 	// Config defaults are applied in server.New; these floors only guard
 	// direct construction in tests.
 	if maxJobs <= 0 {
@@ -108,10 +128,13 @@ func newJobEngine(maxJobs, concurrent int, onDone func()) *jobEngine {
 		maxJobs: maxJobs,
 		sem:     make(chan struct{}, concurrent),
 		onDone:  onDone,
+		journal: journal,
 	}
 }
 
 // errJobsFull rejects submissions while the open-job bound is reached.
+// The server maps it to 503 with a Retry-After header and a retryable
+// error envelope: the condition clears as soon as a running job finishes.
 var errJobsFull = fmt.Errorf("job queue full, retry later")
 
 // enqueue admits a populated record under the open-job bound and starts it
@@ -139,10 +162,12 @@ func (e *jobEngine) enqueue(j *jobRecord) (JobJSON, error) {
 	j.created = time.Now()
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
-	e.evictLocked()
+	evicted := e.evictLocked()
 	snap := j.snapshotLocked()
 	e.mu.Unlock()
 
+	e.forgetJournal(evicted)
+	e.journalPut(j)
 	e.wg.Add(1)
 	go e.run(j)
 	return snap, nil
@@ -173,6 +198,127 @@ func (e *jobEngine) submitQuery(ctx context.Context, session *query.Session, spe
 	})
 }
 
+// adopt restores the journal into the engine: terminal records come back
+// as served history, open (queued/running) records are re-enqueued and
+// resumed from their checkpointed result prefix. It must run before the
+// server accepts requests; the ID counter continues above every adopted
+// ID so restarts never recycle a job identity. Corrupt journal files were
+// already quarantined by LoadAll; records that fail semantic decode here
+// (e.g. an unknown kind) are dropped from the journal and counted as
+// journal errors.
+func (e *jobEngine) adopt(session *query.Session, runner *experiments.Runner, workers int) (resumed int, err error) {
+	if e.journal == nil {
+		return 0, nil
+	}
+	recs, err := e.journal.LoadAll()
+	if err != nil {
+		return 0, err
+	}
+	// The journal sorts lexically; creation order is numeric ("job-10"
+	// sorts before "job-2" lexically, but was created after it).
+	sort.SliceStable(recs, func(i, j int) bool { return jobSeq(recs[i].ID) < jobSeq(recs[j].ID) })
+	var drop []string
+	for _, rec := range recs {
+		j, ok := e.restore(rec, session, runner, workers)
+		if !ok {
+			drop = append(drop, rec.ID)
+			continue
+		}
+		e.mu.Lock()
+		if n := jobSeq(rec.ID); n > e.nextID {
+			e.nextID = n
+		}
+		e.jobs[j.id] = j
+		e.order = append(e.order, j.id)
+		open := j.state == JobQueued || j.state == JobRunning
+		if open {
+			// The previous process died between journaling "running" and
+			// journaling a terminal state; the job restarts from its
+			// checkpointed prefix.
+			j.state = JobQueued
+			j.started = time.Time{}
+		}
+		e.mu.Unlock()
+		if open {
+			resumed++
+			e.journalPut(j)
+			e.wg.Add(1)
+			go e.run(j)
+		}
+	}
+	e.forgetJournal(drop)
+	return resumed, nil
+}
+
+// restore rebuilds one in-memory record from its journaled form.
+func (e *jobEngine) restore(rec jobstore.Record, session *query.Session, runner *experiments.Runner, workers int) (*jobRecord, bool) {
+	j := &jobRecord{
+		id:       rec.ID,
+		state:    rec.State,
+		err:      rec.Error,
+		ctx:      context.Background(),
+		created:  rec.Created,
+		started:  rec.Started,
+		finished: rec.Finished,
+	}
+	switch rec.State {
+	case JobQueued, JobRunning, JobDone, JobFailed:
+	default:
+		e.noteJournalErr(fmt.Errorf("job %s: unknown state %q", rec.ID, rec.State))
+		return nil, false
+	}
+	switch rec.Kind {
+	case JobKindQuery:
+		var spec query.Spec
+		if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+			e.noteJournalErr(fmt.Errorf("job %s: spec: %w", rec.ID, err))
+			return nil, false
+		}
+		j.spec = &spec
+		j.fingerprint = rec.Fingerprint
+		j.session = session
+		j.qtotal = rec.Total
+		if j.qtotal == 0 {
+			j.qtotal = spec.ExpandCount()
+		}
+		if len(rec.Results) > 0 {
+			if err := json.Unmarshal(rec.Results, &j.qresults); err != nil {
+				e.noteJournalErr(fmt.Errorf("job %s: results: %w", rec.ID, err))
+				return nil, false
+			}
+		}
+		// The decoded prefix is the truth about progress, not the
+		// journaled counter (a crash can land between the two).
+		j.qdone = len(j.qresults)
+	case JobKindExperiments:
+		j.names = append([]string(nil), rec.Experiments...)
+		j.runner = runner
+		j.workers = rec.Workers
+		if j.workers <= 0 {
+			j.workers = workers
+		}
+		if len(rec.Results) > 0 {
+			if err := json.Unmarshal(rec.Results, &j.results); err != nil {
+				e.noteJournalErr(fmt.Errorf("job %s: results: %w", rec.ID, err))
+				return nil, false
+			}
+		}
+	default:
+		e.noteJournalErr(fmt.Errorf("job %s: unknown kind %q", rec.ID, rec.Kind))
+		return nil, false
+	}
+	return j, true
+}
+
+// jobSeq extracts the numeric suffix of a "job-N" ID (0 when malformed).
+func jobSeq(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
 func (e *jobEngine) run(j *jobRecord) {
 	defer e.wg.Done()
 	e.sem <- struct{}{}
@@ -182,6 +328,7 @@ func (e *jobEngine) run(j *jobRecord) {
 	j.state = JobRunning
 	j.started = time.Now()
 	e.mu.Unlock()
+	e.journalPut(j)
 
 	// The job outlives its submitting request by design: keep the request's
 	// values but drop its cancellation (the client already got 202 and polls
@@ -189,26 +336,7 @@ func (e *jobEngine) run(j *jobRecord) {
 	// attributing sweep spans to it would race with the response path).
 	jobCtx := obs.Detach(context.WithoutCancel(j.ctx)) //yield:allow(ctxflow) async job engine: detachment from the request lifecycle is the documented contract
 
-	var err error
-	if j.spec != nil {
-		// Query sweeps checkpoint partial results as the completed prefix
-		// grows, so a polling client watches the sweep fill in.
-		_, err = j.session.EvaluateAllFunc(jobCtx, *j.spec,
-			func(done, total int, r query.Result) {
-				e.mu.Lock()
-				j.qresults = append(j.qresults, r)
-				j.qdone, j.qtotal = done, total
-				e.mu.Unlock()
-			})
-	} else {
-		var results []*experiments.Result
-		results, err = j.runner.RunMany(j.names, j.workers)
-		if err == nil {
-			e.mu.Lock()
-			j.results = EncodeResults(results)
-			e.mu.Unlock()
-		}
-	}
+	err := e.execute(jobCtx, j)
 
 	e.mu.Lock()
 	j.finished = time.Now()
@@ -219,8 +347,197 @@ func (e *jobEngine) run(j *jobRecord) {
 		j.state = JobDone
 	}
 	e.mu.Unlock()
+	e.journalPut(j)
 	if e.onDone != nil {
 		e.onDone()
+	}
+}
+
+// execute runs one job's work and converts panics — genuine bugs or an
+// armed job.run failpoint — into a failed job, so a single bad job can
+// never take down the server or wedge the engine.
+func (e *jobEngine) execute(ctx context.Context, j *jobRecord) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	if err := fault.InjectContext(ctx, fault.SiteJobRun); err != nil {
+		return err
+	}
+	if j.spec == nil {
+		results, err := j.runner.RunMany(j.names, j.workers)
+		if err != nil {
+			return err
+		}
+		e.mu.Lock()
+		j.results = EncodeResults(results)
+		e.mu.Unlock()
+		return nil
+	}
+	e.mu.Lock()
+	resume := len(j.qresults) > 0
+	e.mu.Unlock()
+	if resume {
+		return e.resumeQuery(ctx, j)
+	}
+	// Query sweeps checkpoint partial results as the completed prefix
+	// grows, so a polling client watches the sweep fill in. The journal
+	// write is throttled to a stride: re-marshaling the growing prefix on
+	// every result would cost O(n²) over a large sweep.
+	stride := journalStride(j.qtotal)
+	_, err = j.session.EvaluateAllFunc(ctx, *j.spec,
+		func(done, total int, r query.Result) {
+			e.mu.Lock()
+			j.qresults = append(j.qresults, r)
+			j.qdone, j.qtotal = done, total
+			e.mu.Unlock()
+			if e.journal != nil && (done%stride == 0 || done == total) {
+				e.journalPut(j)
+			}
+			// The job.result site fires on the sweep's collector goroutine,
+			// which has no recover: an armed panic action dies with the
+			// whole process, mid-sweep — the chaos harness's stand-in for
+			// power loss, leaving the journaled prefix as the only
+			// survivor. Error actions have nothing left to fail here (the
+			// result is already recorded) and are ignored.
+			_ = fault.Inject(fault.SiteJobResult)
+		})
+	return err
+}
+
+// resumeQuery continues an adopted sweep past its journaled prefix. The
+// remaining specs run sequentially: resumption is rare, and the ordered
+// loop keeps the progress contract (prefix in expansion order) trivially
+// intact. Each result is journaled immediately — a resumed job has
+// already demonstrated that crashes happen.
+func (e *jobEngine) resumeQuery(ctx context.Context, j *jobRecord) error {
+	specs, err := j.spec.Expand()
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if len(j.qresults) > len(specs) {
+		// A journaled prefix longer than the expansion means the spec and
+		// results disagree; distrust the prefix entirely.
+		j.qresults = nil
+		j.qdone = 0
+	}
+	j.qtotal = len(specs)
+	start := len(j.qresults)
+	e.mu.Unlock()
+	for idx := start; idx < len(specs); idx++ {
+		res, err := j.session.Evaluate(ctx, specs[idx])
+		if err != nil {
+			// Mirror EvaluateAllFunc's error shape so a resumed failure
+			// reads identically to a fresh one.
+			return fmt.Errorf("query: spec %d/%d: %w", idx+1, len(specs), err)
+		}
+		e.mu.Lock()
+		j.qresults = append(j.qresults, res)
+		j.qdone = idx + 1
+		e.mu.Unlock()
+		j.session.Checkpoint()
+		e.journalPut(j)
+		if ferr := fault.Inject(fault.SiteJobResult); ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// journalStride spaces progress checkpoints so a sweep journals ~64 times
+// regardless of size (plus always the final result).
+func journalStride(total int) int {
+	if s := total / 64; s > 1 {
+		return s
+	}
+	return 1
+}
+
+// journalPut persists j's current state. Failures degrade durability, not
+// availability: they are counted and surfaced, and the job runs on.
+func (e *jobEngine) journalPut(j *jobRecord) {
+	if e.journal == nil {
+		return
+	}
+	e.mu.Lock()
+	rec, err := j.journalRecordLocked()
+	e.mu.Unlock()
+	if err == nil {
+		err = e.journal.Put(rec)
+	}
+	if err != nil {
+		e.noteJournalErr(err)
+	}
+}
+
+func (e *jobEngine) noteJournalErr(err error) {
+	e.journalErrs.Add(1)
+	msg := err.Error()
+	e.lastJournalErr.Store(&msg)
+}
+
+// journalStats reports the engine's view of journal health (zero values
+// when no journal is attached).
+func (e *jobEngine) journalStats() (errs uint64, last string) {
+	if p := e.lastJournalErr.Load(); p != nil {
+		last = *p
+	}
+	return e.journalErrs.Load(), last
+}
+
+// journalRecordLocked builds j's durable form; e.mu must be held.
+func (j *jobRecord) journalRecordLocked() (jobstore.Record, error) {
+	rec := jobstore.Record{
+		ID:       j.id,
+		Kind:     JobKindExperiments,
+		State:    j.state,
+		Error:    j.err,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	if j.spec != nil {
+		rec.Kind = JobKindQuery
+		rec.Fingerprint = j.fingerprint
+		rec.Done, rec.Total = j.qdone, j.qtotal
+		spec, err := json.Marshal(j.spec)
+		if err != nil {
+			return rec, fmt.Errorf("journal %s: spec: %w", j.id, err)
+		}
+		rec.Spec = spec
+		if len(j.qresults) > 0 {
+			results, err := json.Marshal(j.qresults)
+			if err != nil {
+				return rec, fmt.Errorf("journal %s: results: %w", j.id, err)
+			}
+			rec.Results = results
+		}
+		return rec, nil
+	}
+	rec.Experiments = append([]string(nil), j.names...)
+	rec.Workers = j.workers
+	if len(j.results) > 0 {
+		results, err := json.Marshal(j.results)
+		if err != nil {
+			return rec, fmt.Errorf("journal %s: results: %w", j.id, err)
+		}
+		rec.Results = results
+	}
+	return rec, nil
+}
+
+// forgetJournal drops evicted jobs' records. Called without e.mu held:
+// deletes are file I/O and must not extend the engine's critical section.
+func (e *jobEngine) forgetJournal(ids []string) {
+	if e.journal == nil {
+		return
+	}
+	for _, id := range ids {
+		if err := e.journal.Delete(id); err != nil {
+			e.noteJournalErr(err)
+		}
 	}
 }
 
@@ -249,25 +566,46 @@ func (e *jobEngine) counts() map[string]int {
 // drain blocks until every submitted job has finished.
 func (e *jobEngine) drain() { e.wg.Wait() }
 
-// evictLocked drops the oldest finished jobs beyond the retention bound.
-// Queued and running jobs are never evicted: their records are the only
-// handle a client has on in-flight work.
-func (e *jobEngine) evictLocked() {
+// drainTimeout waits up to d for submitted jobs to finish, reporting
+// whether the drain completed. Jobs still running at the deadline keep
+// their journal records and resume on the next start.
+func (e *jobEngine) drainTimeout(d time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention bound and
+// returns their IDs so the caller can forget their journal records after
+// releasing e.mu. Queued and running jobs are never evicted: their records
+// are the only handle a client has on in-flight work.
+func (e *jobEngine) evictLocked() []string {
 	excess := len(e.jobs) - e.maxJobs
 	if excess <= 0 {
-		return
+		return nil
 	}
+	var evicted []string
 	kept := e.order[:0]
 	for _, id := range e.order {
 		j := e.jobs[id]
 		if excess > 0 && (j.state == JobDone || j.state == JobFailed) {
 			delete(e.jobs, id)
+			evicted = append(evicted, id)
 			excess--
 			continue
 		}
 		kept = append(kept, id)
 	}
 	e.order = kept
+	return evicted
 }
 
 func (j *jobRecord) snapshotLocked() JobJSON {

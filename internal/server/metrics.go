@@ -10,8 +10,11 @@ import (
 	"sync"
 
 	"github.com/cnfet/yieldlab/internal/buildinfo"
+	"github.com/cnfet/yieldlab/internal/fault"
+	"github.com/cnfet/yieldlab/internal/jobstore"
 	"github.com/cnfet/yieldlab/internal/obs"
 	"github.com/cnfet/yieldlab/internal/renewal"
+	"github.com/cnfet/yieldlab/internal/sweepstore"
 )
 
 // metricsRegistry aggregates per-route request counters, fixed-bucket
@@ -76,8 +79,15 @@ type promSnapshot struct {
 	uptimeSeconds float64
 	cache         renewal.CacheStats
 	deduped       uint64
+	shed          uint64
 	jobs          map[string]int
 	build         buildinfo.Info
+	// store and journal are nil when the server runs without persistence.
+	store       *sweepstore.Stats
+	journal     *jobstore.Stats
+	journalErrs uint64
+	// faults is nil while the fault registry is disarmed (the normal case).
+	faults []fault.SiteStats
 }
 
 // formatLE renders a bucket bound the way Prometheus clients do: shortest
@@ -177,6 +187,40 @@ func (m *metricsRegistry) write(w http.ResponseWriter, snap promSnapshot) {
 	b.WriteString("# HELP yieldserver_deduped_requests_total Computations served by another caller's in-flight evaluation.\n")
 	b.WriteString("# TYPE yieldserver_deduped_requests_total counter\n")
 	fmt.Fprintf(&b, "yieldserver_deduped_requests_total %d\n", snap.deduped)
+	b.WriteString("# HELP yieldserver_shed_requests_total Synchronous sweeps refused at the in-flight bound with a retryable 503.\n")
+	b.WriteString("# TYPE yieldserver_shed_requests_total counter\n")
+	fmt.Fprintf(&b, "yieldserver_shed_requests_total %d\n", snap.shed)
+
+	if snap.store != nil {
+		b.WriteString("# HELP yieldserver_store_rejects_total Sweep-store files refused for integrity or format reasons.\n")
+		b.WriteString("# TYPE yieldserver_store_rejects_total counter\n")
+		fmt.Fprintf(&b, "yieldserver_store_rejects_total %d\n", snap.store.Rejects)
+		b.WriteString("# HELP yieldserver_store_quarantined_total Corrupt sweep-store files renamed aside to .bad.\n")
+		b.WriteString("# TYPE yieldserver_store_quarantined_total counter\n")
+		fmt.Fprintf(&b, "yieldserver_store_quarantined_total %d\n", snap.store.Quarantined)
+		b.WriteString("# HELP yieldserver_store_retries_total Sweep-store save attempts repeated after transient failures.\n")
+		b.WriteString("# TYPE yieldserver_store_retries_total counter\n")
+		fmt.Fprintf(&b, "yieldserver_store_retries_total %d\n", snap.store.Retries)
+	}
+	if snap.journal != nil {
+		b.WriteString("# HELP yieldserver_job_journal_puts_total Job records journaled.\n")
+		b.WriteString("# TYPE yieldserver_job_journal_puts_total counter\n")
+		fmt.Fprintf(&b, "yieldserver_job_journal_puts_total %d\n", snap.journal.Puts)
+		b.WriteString("# HELP yieldserver_job_journal_quarantined_total Corrupt job records renamed aside to .bad.\n")
+		b.WriteString("# TYPE yieldserver_job_journal_quarantined_total counter\n")
+		fmt.Fprintf(&b, "yieldserver_job_journal_quarantined_total %d\n", snap.journal.Quarantined)
+		b.WriteString("# HELP yieldserver_job_journal_errors_total Journal failures seen by the job engine (durability degraded, jobs unaffected).\n")
+		b.WriteString("# TYPE yieldserver_job_journal_errors_total counter\n")
+		fmt.Fprintf(&b, "yieldserver_job_journal_errors_total %d\n", snap.journalErrs)
+	}
+	if len(snap.faults) > 0 {
+		b.WriteString("# HELP yieldserver_fault_injections_total Armed fault-injection sites: calls seen and faults fired.\n")
+		b.WriteString("# TYPE yieldserver_fault_injections_total counter\n")
+		for _, fs := range snap.faults {
+			fmt.Fprintf(&b, "yieldserver_fault_injections_total{site=%q,outcome=\"fired\"} %d\n", fs.Site, fs.Fired)
+			fmt.Fprintf(&b, "yieldserver_fault_injections_total{site=%q,outcome=\"passed\"} %d\n", fs.Site, fs.Calls-fs.Fired)
+		}
+	}
 
 	b.WriteString("# HELP yieldserver_jobs Jobs by state.\n")
 	b.WriteString("# TYPE yieldserver_jobs gauge\n")

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
+	"github.com/cnfet/yieldlab/internal/fault"
 	"github.com/cnfet/yieldlab/internal/obs"
 )
 
@@ -32,12 +34,30 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		if r.URL.Query().Get("debug") == "cost" {
 			tracer.EnableCost()
 		}
-		ctx := obs.WithTracer(r.Context(), tracer)
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			// The per-request deadline rides the request context, so every
+			// evaluation below it stops at the bound; writeEvalError turns
+			// the expiry into a retryable 503.
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		ctx = obs.WithTracer(ctx, tracer)
 
 		w.Header().Set("X-Request-ID", reqID)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		next.ServeHTTP(sw, r.WithContext(ctx))
+		// The http.request failpoint sits where the edge meets the handler:
+		// an error action rejects the request with a retryable 503 (still
+		// traced, counted and logged), a delay action stalls it, and a
+		// panic action propagates into net/http's connection handler — the
+		// chaos harness's misbehaving-middleware stand-in.
+		if err := fault.InjectContext(ctx, fault.SiteHTTPRequest); err != nil {
+			writeUnavailable(sw, err)
+		} else {
+			next.ServeHTTP(sw, r.WithContext(ctx))
+		}
 		elapsed := time.Since(start)
 		code := sw.status
 		if code == 0 {

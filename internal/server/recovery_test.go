@@ -1,0 +1,499 @@
+package server
+
+// Robustness acceptance suite: crash recovery from the job journal,
+// overload shedding, request deadlines, admission-bound contracts and an
+// in-process chaos run with armed failpoints. The fault registry is global
+// process state, so none of these tests run in parallel and every one that
+// arms a site registers fault.Reset as cleanup first.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cnfet/yieldlab/internal/fault"
+	"github.com/cnfet/yieldlab/internal/jobstore"
+	"github.com/cnfet/yieldlab/internal/query"
+	"github.com/cnfet/yieldlab/internal/sweepstore"
+)
+
+// postRaw posts a JSON payload with extra headers and returns status, body
+// and response headers (getBody's POST counterpart).
+func postRaw(t *testing.T, url string, payload any, hdr map[string]string) (int, []byte, http.Header) {
+	t.Helper()
+	data, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+// pollJob polls /v1/jobs/{id} until the job reaches a terminal state.
+func pollJob(t *testing.T, base, id string) JobJSON {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	var job JobJSON
+	for {
+		if code := getJSON(t, base+"/v1/jobs/"+id, &job); code != http.StatusOK {
+			t.Fatalf("poll %s: status %d", id, code)
+		}
+		if job.State == JobDone || job.State == JobFailed {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// submitAsync submits an async query sweep and returns the accepted job.
+func submitAsync(t *testing.T, base string, spec query.Spec) JobJSON {
+	t.Helper()
+	code, body, _ := postRaw(t, base+"/v2/query?async=1", spec, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("async submit status %d: %s", code, body)
+	}
+	var job JobJSON
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// TestJobRecoveryAcrossRestart is the crash-recovery acceptance test: a
+// journal holding a terminal record and a mid-sweep "running" record (the
+// exact state a SIGKILL leaves behind) is adopted by a fresh server, the
+// interrupted job resumes from its checkpointed prefix, and its final
+// results are byte-identical to the uninterrupted run. Record IDs are
+// chosen so lexical order disagrees with creation order (job-2 vs job-10),
+// and the ID counter must continue above every adopted ID.
+func TestJobRecoveryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	journal, err := jobstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: run one async sweep to completion so the journal holds a
+	// genuine done record, and capture the sync answer as the byte baseline.
+	spec := query.Spec{Kind: "pf", WidthNM: 155,
+		Sweep: &query.Sweep{WidthsNM: []float64{100, 150, 200}}}
+	srvA, err := New(Config{Params: testParams(), Jobs: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA.Handler())
+	jobA := submitAsync(t, tsA.URL, spec)
+	jobA = pollJob(t, tsA.URL, jobA.ID)
+	if jobA.State != JobDone || len(jobA.QueryResults) != 3 {
+		t.Fatalf("first-life job = %+v", jobA)
+	}
+	syncCode, syncResp, _ := postV2(t, tsA.URL, spec)
+	if syncCode != http.StatusOK {
+		t.Fatalf("sync status %d", syncCode)
+	}
+	tsA.Close()
+	if err := srvA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge the crash: reuse the done record's spec to journal job-10 as
+	// "running" with a one-result checkpoint (what a kill mid-sweep leaves)
+	// and job-2 as finished history whose lexical order is wrong.
+	recs, err := journal.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].State != JobDone {
+		t.Fatalf("journal after first life = %+v", recs)
+	}
+	base := recs[0]
+	fullResults := base.Results
+
+	done2 := base
+	done2.ID = "job-2"
+	if err := journal.Put(done2); err != nil {
+		t.Fatal(err)
+	}
+	var prefix []query.Result
+	if err := json.Unmarshal(base.Results, &prefix); err != nil {
+		t.Fatal(err)
+	}
+	prefixJSON, err := json.Marshal(prefix[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := base
+	crashed.ID = "job-10"
+	crashed.State = JobRunning
+	crashed.Results = prefixJSON
+	crashed.Done = 1
+	crashed.Finished = time.Time{}
+	if err := journal.Put(crashed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: adoption must serve the history and resume the crash.
+	_, tsB := newTestServer(t, Config{Jobs: journal})
+	var history JobJSON
+	if code := getJSON(t, tsB.URL+"/v1/jobs/job-2", &history); code != http.StatusOK {
+		t.Fatalf("adopted history status %d", code)
+	}
+	if history.State != JobDone || len(history.QueryResults) != 3 {
+		t.Fatalf("adopted history = %+v", history)
+	}
+
+	resumed := pollJob(t, tsB.URL, "job-10")
+	if resumed.State != JobDone {
+		t.Fatalf("resumed job failed: %s", resumed.Error)
+	}
+	if resumed.Done != 3 || resumed.Total != 3 || len(resumed.QueryResults) != 3 {
+		t.Fatalf("resumed progress = %d/%d, %d results",
+			resumed.Done, resumed.Total, len(resumed.QueryResults))
+	}
+	// Byte identity across the restart: the resumed job's results marshal
+	// exactly as the uninterrupted first-life run journaled them...
+	resumedJSON, err := json.Marshal(resumed.QueryResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resumedJSON) != string(fullResults) {
+		t.Fatalf("resumed results differ from pre-crash run:\n%s\n%s", resumedJSON, fullResults)
+	}
+	// ...and match the second life's own sync evaluation bit for bit.
+	for i := range syncResp.Results {
+		wantPF, err := json.Marshal(resumed.QueryResults[i].PF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := compact(t, syncResp.Results[i].PF); got != string(wantPF) {
+			t.Fatalf("resumed/sync mismatch at %d:\n%s\n%s", i, wantPF, got)
+		}
+	}
+
+	// The ID counter continued above the highest adopted ID.
+	next := submitAsync(t, tsB.URL, query.Spec{Kind: "pf", WidthNM: 120})
+	if next.ID != "job-11" {
+		t.Fatalf("post-adoption ID = %q, want job-11", next.ID)
+	}
+	pollJob(t, tsB.URL, next.ID)
+}
+
+// TestJobsFullRetryAfter pins the admission-rejection contract: a full job
+// queue answers 503 with a Retry-After hint and a retryable error
+// envelope. A delay failpoint holds the first job open so the bound is hit
+// deterministically instead of racing the sweep.
+func TestJobsFullRetryAfter(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	if err := fault.Enable(fault.SiteJobRun, "delay(1500ms)"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{MaxJobs: 1, ConcurrentJobs: 1})
+
+	first := submitAsync(t, ts.URL, query.Spec{Kind: "pf", WidthNM: 110})
+	if first.State != JobQueued && first.State != JobRunning {
+		t.Fatalf("first job state = %q", first.State)
+	}
+	code, body, hdr := postRaw(t, ts.URL+"/v2/query?async=1",
+		query.Spec{Kind: "pf", WidthNM: 111}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("second submit status %d: %s", code, body)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q", ra)
+	}
+	var envelope ErrorJSON
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	if envelope.Error.Code != "unavailable" || !envelope.Error.Retryable {
+		t.Fatalf("envelope = %+v", envelope)
+	}
+	if !strings.Contains(envelope.Error.Message, "retry") {
+		t.Fatalf("message = %q", envelope.Error.Message)
+	}
+}
+
+// TestSyncSweepShedding pins graceful degradation under load: with one
+// in-flight slot held by a stalled sweep, further cold sweeps shed with a
+// retryable 503, ETag revalidations still answer 304, and the shed counter
+// surfaces in /v1/stats.
+func TestSyncSweepShedding(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	_, ts := newTestServer(t, Config{MaxInFlightSweeps: 1})
+
+	// Warm the cache (and learn the ETag) before arming the stall: cached
+	// evaluations never reach Session.Evaluate, so probes stay fast.
+	warm := query.Spec{Kind: "pf", WidthNM: 120}
+	code, _, hdr := postRaw(t, ts.URL+"/v2/query", warm, nil)
+	if code != http.StatusOK {
+		t.Fatalf("warm status %d", code)
+	}
+	etag := hdr.Get("ETag")
+	if etag == "" {
+		t.Fatal("warm response carried no ETag")
+	}
+
+	// times=1: only the stalled goroutine's evaluation sleeps; the probes
+	// below either shed at the admission gate or run at full speed.
+	if err := fault.Enable(fault.SiteQueryEvaluate, "delay(2500ms)@times=1"); err != nil {
+		t.Fatal(err)
+	}
+	stalled := make(chan int, 1)
+	go func() {
+		c, _, _ := postRaw(t, ts.URL+"/v2/query", query.Spec{Kind: "pf", WidthNM: 130}, nil)
+		stalled <- c
+	}()
+
+	// The delay's fired counter flips exactly when the goroutine is asleep
+	// inside Evaluate — holding the only in-flight slot. Stats requests
+	// never touch that slot, so polling them is safe.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var stats StatsJSON
+		if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+			t.Fatalf("stats status %d", code)
+		}
+		var fired uint64
+		for _, fs := range stats.Faults {
+			if fs.Site == fault.SiteQueryEvaluate {
+				fired = fs.Fired
+			}
+		}
+		if fired >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stalled sweep never reached its evaluation")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// With the slot held, a cold sync sweep must shed: retryable 503 with a
+	// Retry-After hint.
+	c, shedBody, h := postRaw(t, ts.URL+"/v2/query", warm, nil)
+	if c != http.StatusServiceUnavailable {
+		t.Fatalf("probe while saturated: status %d: %s", c, shedBody)
+	}
+	if ra := h.Get("Retry-After"); ra != "1" {
+		t.Fatalf("shed Retry-After = %q", ra)
+	}
+	var envelope ErrorJSON
+	if err := json.Unmarshal(shedBody, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != "unavailable" || !envelope.Error.Retryable {
+		t.Fatalf("shed envelope = %+v", envelope)
+	}
+
+	// Degradation contract: revalidation answers before the in-flight
+	// bound, so a 304 goes out even while cold sweeps are being shed.
+	code, _, _ = postRaw(t, ts.URL+"/v2/query", warm, map[string]string{"If-None-Match": etag})
+	if code != http.StatusNotModified {
+		t.Fatalf("revalidation while shedding: status %d", code)
+	}
+
+	if c := <-stalled; c != http.StatusOK {
+		t.Fatalf("stalled sweep finished with %d", c)
+	}
+	var stats StatsJSON
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.ShedRequests == 0 {
+		t.Fatal("shed_requests = 0 after shedding")
+	}
+}
+
+// TestRequestTimeoutSheds pins the deadline contract: a request exceeding
+// Config.RequestTimeout is cut off and answered with a retryable 503, not
+// a 500 — the work is fine, the deadline was just too tight.
+func TestRequestTimeoutSheds(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	if err := fault.Enable(fault.SiteQueryEvaluate, "delay(10s)"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{RequestTimeout: 100 * time.Millisecond})
+
+	start := time.Now()
+	code, body, _ := postRaw(t, ts.URL+"/v2/query", query.Spec{Kind: "pf", WidthNM: 140}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: took %s", elapsed)
+	}
+	var envelope ErrorJSON
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if !envelope.Error.Retryable {
+		t.Fatalf("envelope = %+v", envelope)
+	}
+}
+
+// TestChaosJobsReachTerminalStates is the in-process chaos harness: with
+// journal writes failing probabilistically, evaluations randomly delayed
+// and one injected job failure, every submitted job still reaches a
+// terminal state, failures surface as envelope errors (never a wedged job
+// or a crashed server), and disarming the faults restores clean runs. The
+// job.result panic action is deliberately NOT armed here — it kills the
+// whole process by design and belongs to the shell-level chaos harness.
+func TestChaosJobsReachTerminalStates(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	store, err := sweepstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, err := jobstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.EnableSpecs(
+		"journal.put=error(chaos: journal write)@p=0.4,seed=3;" +
+			"store.save=error(chaos: store write)@p=0.5,seed=9;" +
+			"query.evaluate=delay(1ms)@p=0.5,seed=5;" +
+			"job.run=error(chaos: injected job failure)@nth=3"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{MaxJobs: 16, ConcurrentJobs: 2, Store: store, Jobs: journal})
+
+	widths := []float64{100, 110, 120, 130}
+	ids := make([]string, 0, len(widths))
+	for _, w := range widths {
+		job := submitAsync(t, ts.URL, query.Spec{Kind: "pf", WidthNM: w,
+			Sweep: &query.Sweep{WidthsNM: []float64{w, w + 5}}})
+		ids = append(ids, job.ID)
+	}
+	var failed int
+	for _, id := range ids {
+		job := pollJob(t, ts.URL, id)
+		switch job.State {
+		case JobDone:
+			if len(job.QueryResults) != 2 {
+				t.Errorf("%s done with %d results", id, len(job.QueryResults))
+			}
+		case JobFailed:
+			failed++
+			if !strings.Contains(job.Error, "injected") {
+				t.Errorf("%s failed with non-injected error %q", id, job.Error)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("failed jobs = %d, want exactly 1 (nth=3 fires once)", failed)
+	}
+
+	// The server is still fully alive under fire: sync queries answer and
+	// stats report the chaos (armed sites with traffic, journal errors).
+	code, _, _ := postV2(t, ts.URL, query.Spec{Kind: "pf", WidthNM: 150})
+	if code != http.StatusOK {
+		t.Fatalf("sync query under chaos: status %d", code)
+	}
+	var stats StatsJSON
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if len(stats.Faults) != 4 {
+		t.Fatalf("faults = %+v", stats.Faults)
+	}
+	var journalCalls uint64
+	for _, fs := range stats.Faults {
+		if fs.Site == fault.SiteJournalPut {
+			journalCalls = fs.Calls
+		}
+	}
+	if journalCalls == 0 {
+		t.Fatal("journal.put site saw no traffic")
+	}
+	if stats.Journal == nil || stats.Journal.PutErrors == 0 || stats.Journal.EngineErrors == 0 {
+		t.Fatalf("journal stats = %+v, want surfaced put errors", stats.Journal)
+	}
+
+	// Disarm and recover: the next job runs clean.
+	fault.Reset()
+	job := submitAsync(t, ts.URL, query.Spec{Kind: "pf", WidthNM: 160})
+	if job = pollJob(t, ts.URL, job.ID); job.State != JobDone {
+		t.Fatalf("post-chaos job failed: %s", job.Error)
+	}
+	var clean StatsJSON
+	getJSON(t, ts.URL+"/v1/stats", &clean)
+	if len(clean.Faults) != 0 {
+		t.Fatalf("faults after reset = %+v", clean.Faults)
+	}
+}
+
+// TestEvictionCleansJournal pins journal hygiene: evicting finished jobs
+// from the bounded history also deletes their journal records, so a
+// long-lived server's journal directory stays bounded by MaxJobs and never
+// accumulates temp files.
+func TestEvictionCleansJournal(t *testing.T) {
+	dir := t.TempDir()
+	journal, err := jobstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{MaxJobs: 2, ConcurrentJobs: 2, Jobs: journal})
+
+	var lastID, firstID string
+	for i := 0; i < 5; i++ {
+		job := submitAsync(t, ts.URL, query.Spec{Kind: "pf", WidthNM: 100 + float64(i)})
+		if job = pollJob(t, ts.URL, job.ID); job.State != JobDone {
+			t.Fatalf("job %d failed: %s", i, job.Error)
+		}
+		if i == 0 {
+			firstID = job.ID
+		}
+		lastID = job.ID
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+firstID, nil); code != http.StatusNotFound {
+		t.Fatalf("evicted job status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+lastID, nil); code != http.StatusOK {
+		t.Fatalf("retained job status %d", code)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recordFiles int
+	for _, de := range entries {
+		name := de.Name()
+		switch {
+		case strings.HasSuffix(name, ".partial"):
+			t.Errorf("leftover temp file %s", name)
+		case strings.HasSuffix(name, ".job"):
+			recordFiles++
+		default:
+			t.Errorf("unexpected file %s", name)
+		}
+	}
+	if recordFiles > 2 {
+		t.Fatalf("journal holds %d records, retention bound is 2", recordFiles)
+	}
+}

@@ -35,6 +35,7 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -51,6 +52,8 @@ import (
 	"github.com/cnfet/yieldlab/internal/buildinfo"
 	"github.com/cnfet/yieldlab/internal/device"
 	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/fault"
+	"github.com/cnfet/yieldlab/internal/jobstore"
 	"github.com/cnfet/yieldlab/internal/obs"
 	"github.com/cnfet/yieldlab/internal/query"
 	"github.com/cnfet/yieldlab/internal/renewal"
@@ -70,6 +73,14 @@ const (
 	// query.DefaultAdaptiveRounds, and the limit must not reject the
 	// service's own default.
 	DefaultMaxRowRounds = query.DefaultAdaptiveRounds
+	// DefaultMaxInFlightSweeps bounds synchronous /v2/query sweeps computing
+	// at once before the server sheds load with a retryable 503.
+	DefaultMaxInFlightSweeps = 32
+	// Transient sweep-store write failures are retried with jittered
+	// exponential backoff: storeRetryAttempts total tries, storeRetryBase
+	// before the first retry.
+	storeRetryAttempts = 3
+	storeRetryBase     = 2 * time.Millisecond
 )
 
 // Config configures a Server.
@@ -78,8 +89,13 @@ type Config struct {
 	// of the device grid (step, max width). Zero value = DefaultParams.
 	Params experiments.Params
 	// Store, when non-nil, persists swept renewal tables: warmed from at
-	// startup, written back after new sweeps and on Close.
+	// startup, written back after new sweeps and on Close. The server arms
+	// the store's transient-write retry loop.
 	Store *sweepstore.Store
+	// Jobs, when non-nil, journals async jobs so a restarted server
+	// re-adopts them: terminal jobs return as served history, open jobs are
+	// resumed from their last checkpointed result prefix.
+	Jobs *jobstore.Store
 	// CacheEntries bounds the sweep cache (0 = DefaultCacheEntries).
 	CacheEntries int
 	// MaxJobs bounds the retained job history (0 = DefaultMaxJobs).
@@ -92,6 +108,15 @@ type Config struct {
 	// MaxRowRounds caps Monte Carlo rounds a rowyield request may ask for
 	// (0 = DefaultMaxRowRounds).
 	MaxRowRounds int
+	// RequestTimeout bounds each request's handling time: the request
+	// context gets this deadline, and an evaluation that exceeds it answers
+	// with a retryable 503 (0 = no deadline).
+	RequestTimeout time.Duration
+	// MaxInFlightSweeps bounds synchronous /v2/query sweeps computing at
+	// once; excess requests are shed with a retryable 503 and Retry-After
+	// while ETag revalidations still answer 304
+	// (0 = DefaultMaxInFlightSweeps, negative = unbounded).
+	MaxInFlightSweeps int
 	// Logger receives one structured line per request (nil = discard, which
 	// keeps tests and embedded uses quiet).
 	Logger *slog.Logger
@@ -126,6 +151,10 @@ type Server struct {
 	// with each spec's canonical fingerprint so two servers with different
 	// grids or seeds can never validate each other's cached responses.
 	paramsTag string
+	// inflight bounds synchronous sweep evaluations (nil = unbounded);
+	// shed counts requests refused at that bound.
+	inflight chan struct{}
+	shed     atomic.Uint64
 }
 
 // New builds a server, warming the sweep cache from cfg.Store when present.
@@ -150,6 +179,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxRowRounds == 0 {
 		cfg.MaxRowRounds = DefaultMaxRowRounds
+	}
+	if cfg.MaxInFlightSweeps == 0 {
+		cfg.MaxInFlightSweeps = DefaultMaxInFlightSweeps
+	}
+	if cfg.Store != nil {
+		// A long-lived server rides out transient store-write failures
+		// instead of dropping the snapshot on the first error.
+		cfg.Store.SetRetry(storeRetryAttempts, storeRetryBase)
 	}
 	session, err := query.NewSession(query.Options{
 		Params:       cfg.Params,
@@ -179,7 +216,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.ridPrefix = fmt.Sprintf("%08x", uint32(s.start.UnixNano()))
 	s.cache.SetMaxEntries(cfg.CacheEntries)
-	s.jobs = newJobEngine(cfg.MaxJobs, cfg.ConcurrentJobs, s.session.Checkpoint)
+	if cfg.MaxInFlightSweeps > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlightSweeps)
+	}
+	s.jobs = newJobEngine(cfg.MaxJobs, cfg.ConcurrentJobs, s.session.Checkpoint, cfg.Jobs)
+	if resumed, err := s.jobs.adopt(session, s.runner, cfg.Params.Workers); err != nil {
+		session.Close()
+		return nil, fmt.Errorf("adopting job journal: %w", err)
+	} else if resumed > 0 {
+		logger.Info("resumed journaled jobs", slog.Int("jobs", resumed))
+	}
 	s.routes()
 	return s, nil
 }
@@ -203,6 +249,22 @@ func (s *Server) Handler() http.Handler {
 // Close drains running jobs and persists the sweep cache.
 func (s *Server) Close() error {
 	s.jobs.drain()
+	return s.session.Close()
+}
+
+// Shutdown is Close with a drain deadline: it waits up to d for running
+// jobs, then persists the sweep cache regardless. Jobs still running at
+// the deadline are abandoned in this process but stay journaled, so the
+// next start re-adopts and resumes them — exactly the crash-recovery
+// path, entered deliberately. d <= 0 waits indefinitely, like Close.
+func (s *Server) Shutdown(d time.Duration) error {
+	if d <= 0 {
+		return s.Close()
+	}
+	if !s.jobs.drainTimeout(d) {
+		s.logger.Warn("shutdown drain deadline exceeded; open jobs will resume on next start",
+			slog.Duration("deadline", d))
+	}
 	return s.session.Close()
 }
 
@@ -649,7 +711,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if isAsync(r) {
 		job, err := s.jobs.submitQuery(r.Context(), s.session, canon, fp)
 		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, err)
+			writeUnavailable(w, err)
 			return
 		}
 		w.Header().Set("Location", "/v1/jobs/"+job.ID)
@@ -657,14 +719,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Revalidation is answered before the in-flight bound: a 304 costs
+	// nothing, so clients holding a previous response keep getting answers
+	// even while cold work is being shed.
+	etag := s.etagFor(fp)
+	if notModified(w, r, etag) {
+		return
+	}
+	release, ok := s.acquireSweep()
+	if !ok {
+		writeUnavailable(w, fmt.Errorf("sweep capacity reached (%d in flight), retry later", cap(s.inflight)))
+		return
+	}
+	defer release()
 	results, err := s.session.EvaluateAll(r.Context(), canon)
 	if err != nil {
 		writeEvalError(w, err)
 		return
 	}
 	defer s.session.Checkpoint()
-	w.Header().Set("ETag", s.etagFor(fp))
+	w.Header().Set("ETag", etag)
 	writeJSON(w, http.StatusOK, QueryResponseJSON{Fingerprint: fp, Count: len(results), Results: results})
+}
+
+// acquireSweep reserves a synchronous-sweep slot, reporting false (and
+// counting a shed) when the server is saturated.
+func (s *Server) acquireSweep() (release func(), ok bool) {
+	if s.inflight == nil {
+		return func() {}, true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }, true
+	default:
+		s.shed.Add(1)
+		return nil, false
+	}
 }
 
 // isAsync reports whether the request asked for job-backed execution.
@@ -743,7 +833,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 
 	job, err := s.jobs.submit(r.Context(), runner, names, workers)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeUnavailable(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
@@ -772,9 +862,16 @@ type StatsJSON struct {
 		Entries   int    `json:"entries"`
 		Sweeps    uint64 `json:"sweeps"`
 	} `json:"sweep_cache"`
-	DedupedRequests uint64          `json:"deduped_requests"`
-	Jobs            map[string]int  `json:"jobs"`
-	Store           *StoreStatsJSON `json:"store,omitempty"`
+	DedupedRequests uint64 `json:"deduped_requests"`
+	// ShedRequests counts synchronous sweeps refused at the in-flight bound
+	// with a retryable 503.
+	ShedRequests uint64            `json:"shed_requests"`
+	Jobs         map[string]int    `json:"jobs"`
+	Store        *StoreStatsJSON   `json:"store,omitempty"`
+	Journal      *JournalStatsJSON `json:"job_journal,omitempty"`
+	// Faults lists armed fault-injection sites and their firing counts;
+	// absent in normal operation (the registry is disarmed).
+	Faults []fault.SiteStats `json:"faults,omitempty"`
 }
 
 // StoreStatsJSON reports sweep-store traffic.
@@ -783,9 +880,27 @@ type StoreStatsJSON struct {
 	Saves   uint64 `json:"saves"`
 	Loads   uint64 `json:"loads"`
 	Rejects uint64 `json:"rejects"`
+	// Quarantined counts corrupt snapshot files renamed aside to .bad;
+	// Retries counts save attempts repeated after transient failures.
+	Quarantined uint64 `json:"quarantined"`
+	Retries     uint64 `json:"retries"`
 	// LastPersistError is the most recent cache-persistence failure, empty
 	// once a later persist succeeds.
 	LastPersistError string `json:"last_persist_error,omitempty"`
+}
+
+// JournalStatsJSON reports job-journal traffic and health.
+type JournalStatsJSON struct {
+	Dir         string `json:"dir"`
+	Puts        uint64 `json:"puts"`
+	Loads       uint64 `json:"loads"`
+	Quarantined uint64 `json:"quarantined"`
+	PutErrors   uint64 `json:"put_errors"`
+	// EngineErrors counts journal failures seen by the job engine (a
+	// superset view: failed puts, deletes and undecodable records);
+	// LastError is the most recent one.
+	EngineErrors uint64 `json:"engine_errors"`
+	LastError    string `json:"last_error,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -798,26 +913,50 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.SweepCache.Entries = cs.Entries
 	out.SweepCache.Sweeps = cs.Sweeps
 	out.DedupedRequests = s.flight.sharedCount()
+	out.ShedRequests = s.shed.Load()
 	out.Jobs = s.jobs.counts()
 	if store := s.session.Store(); store != nil {
 		st := store.Stats()
 		out.Store = &StoreStatsJSON{
 			Dir: store.Dir(), Saves: st.Saves, Loads: st.Loads, Rejects: st.Rejects,
+			Quarantined: st.Quarantined, Retries: st.Retries,
 			LastPersistError: s.session.LastPersistError(),
 		}
 	}
+	if s.cfg.Jobs != nil {
+		jst := s.cfg.Jobs.Stats()
+		errs, last := s.jobs.journalStats()
+		out.Journal = &JournalStatsJSON{
+			Dir: s.cfg.Jobs.Dir(), Puts: jst.Puts, Loads: jst.Loads,
+			Quarantined: jst.Quarantined, PutErrors: jst.PutErrors,
+			EngineErrors: errs, LastError: last,
+		}
+	}
+	out.Faults = fault.Stats()
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.Stats()
-	s.metrics.write(w, promSnapshot{
+	snap := promSnapshot{
 		uptimeSeconds: time.Since(s.start).Seconds(),
 		cache:         cs,
 		deduped:       s.flight.sharedCount(),
+		shed:          s.shed.Load(),
 		jobs:          s.jobs.counts(),
 		build:         buildinfo.Get(),
-	})
+		faults:        fault.Stats(),
+	}
+	if store := s.session.Store(); store != nil {
+		st := store.Stats()
+		snap.store = &st
+	}
+	if s.cfg.Jobs != nil {
+		jst := s.cfg.Jobs.Stats()
+		snap.journal = &jst
+		snap.journalErrs, _ = s.jobs.journalStats()
+	}
+	s.metrics.write(w, snap)
 }
 
 // SlowLogJSON is the /debug/slowlog payload.
@@ -945,10 +1084,13 @@ type ErrorJSON struct {
 	Error ErrorBodyJSON `json:"error"`
 }
 
-// ErrorBodyJSON carries one error.
+// ErrorBodyJSON carries one error. Retryable marks conditions that clear
+// on their own (queue full, load shed, deadline exceeded): the client
+// should retry after the Retry-After hint, with backoff.
 type ErrorBodyJSON struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable,omitempty"`
 }
 
 // errorCode maps an HTTP status onto the envelope's stable machine code.
@@ -971,13 +1113,28 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, ErrorJSON{Error: ErrorBodyJSON{Code: errorCode(status), Message: err.Error()}})
 }
 
+// writeUnavailable answers an overload rejection — queue full, sweep
+// capacity reached, deadline exceeded — with a retryable 503 and a
+// Retry-After hint: the condition clears as soon as in-flight work
+// finishes, so the client should come back, not give up.
+func writeUnavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, ErrorJSON{Error: ErrorBodyJSON{
+		Code: errorCode(http.StatusServiceUnavailable), Message: err.Error(), Retryable: true,
+	}})
+}
+
 // writeEvalError classifies a session evaluation failure: caller mistakes
-// (invalid or out-of-bounds specs) are 400s, everything else — sweep or
-// model failures the client did nothing to cause — is a 500.
+// (invalid or out-of-bounds specs) are 400s, a request-deadline expiry is
+// a retryable 503, everything else — sweep or model failures the client
+// did nothing to cause — is a 500.
 func writeEvalError(w http.ResponseWriter, err error) {
-	if query.IsRequestError(err) {
+	switch {
+	case query.IsRequestError(err):
 		writeError(w, http.StatusBadRequest, err)
-		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeUnavailable(w, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
 	}
-	writeError(w, http.StatusInternalServerError, err)
 }

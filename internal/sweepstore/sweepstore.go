@@ -27,9 +27,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/cnfet/yieldlab/internal/dist"
+	"github.com/cnfet/yieldlab/internal/fault"
 	"github.com/cnfet/yieldlab/internal/renewal"
+	"github.com/cnfet/yieldlab/internal/rng"
 )
 
 // magic identifies a sweep-table file; the trailing byte is the format
@@ -39,6 +42,9 @@ var magic = [8]byte{'C', 'N', 'F', 'S', 'W', 'P', 0, 1}
 const (
 	// fileExt names store files; LoadAll only considers this extension.
 	fileExt = ".sweep"
+	// badExt suffixes quarantined files; ".sweep.bad" no longer matches
+	// fileExt, so a quarantined record is never re-read.
+	badExt = ".bad"
 	// maxFileSize bounds how much LoadAll will read per record, so a
 	// corrupted or adversarial directory cannot drive unbounded allocation.
 	maxFileSize = 1 << 30
@@ -50,17 +56,27 @@ const (
 type Store struct {
 	dir string
 
-	saveMu  sync.Mutex // serializes in-process writers per store
-	saves   atomic.Uint64
-	loads   atomic.Uint64
-	rejects atomic.Uint64
+	saveMu      sync.Mutex // serializes in-process writers per store
+	saves       atomic.Uint64
+	loads       atomic.Uint64
+	rejects     atomic.Uint64
+	quarantined atomic.Uint64
+	retries     atomic.Uint64
+
+	// retryAttempts/retryBase configure Save's transient-failure retry
+	// loop (see SetRetry); jitterState seeds its deterministic jitter.
+	retryAttempts int
+	retryBase     time.Duration
+	jitterState   atomic.Uint64
 }
 
 // Stats reports a store's lifetime traffic (for /v1/stats).
 type Stats struct {
 	// Saves counts records written, Loads records decoded successfully,
-	// Rejects files refused for integrity or format reasons.
-	Saves, Loads, Rejects uint64
+	// Rejects files refused for integrity or format reasons, Quarantined
+	// corrupt files renamed aside to .bad, Retries save attempts repeated
+	// after a transient write failure.
+	Saves, Loads, Rejects, Quarantined, Retries uint64
 }
 
 // Open returns a store rooted at dir, creating the directory if needed.
@@ -79,7 +95,25 @@ func (s *Store) Dir() string { return s.dir }
 
 // Stats returns the store's traffic counters.
 func (s *Store) Stats() Stats {
-	return Stats{Saves: s.saves.Load(), Loads: s.loads.Load(), Rejects: s.rejects.Load()}
+	return Stats{
+		Saves:       s.saves.Load(),
+		Loads:       s.loads.Load(),
+		Rejects:     s.rejects.Load(),
+		Quarantined: s.quarantined.Load(),
+		Retries:     s.retries.Load(),
+	}
+}
+
+// SetRetry arms Save's transient-failure retry loop: up to attempts total
+// tries per record, sleeping base<<try plus a small deterministic jitter
+// between tries (no lock held while sleeping). Zero attempts (the default)
+// means a single try — keeps unit tests and one-shot CLI runs snappy; the
+// long-lived server opts in.
+func (s *Store) SetRetry(attempts int, base time.Duration) {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	s.retryAttempts = attempts
+	s.retryBase = base
 }
 
 // Record is one persisted sweep table: the law identity plus the swept
@@ -102,7 +136,9 @@ func fileName(fp string, snap *renewal.Snapshot) string {
 // Save writes one record, atomically replacing any previous version of the
 // same law+grid. A record already on disk with an equal or wider sweep
 // horizon is left alone, so concurrent writers can only widen what is
-// stored.
+// stored. With SetRetry armed, transient write failures are retried with
+// exponential backoff plus deterministic jitter; the lock is dropped while
+// sleeping, so retries never stall other savers.
 func (s *Store) Save(fingerprint string, snap *renewal.Snapshot) error {
 	if fingerprint == "" {
 		return errors.New("sweepstore: empty fingerprint")
@@ -113,6 +149,38 @@ func (s *Store) Save(fingerprint string, snap *renewal.Snapshot) error {
 	if snap.SweptTo == 0 {
 		return nil // nothing swept, nothing worth storing
 	}
+	s.saveMu.Lock()
+	attempts, base := s.retryAttempts, s.retryBase
+	s.saveMu.Unlock()
+	if attempts < 1 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			s.retries.Add(1)
+			time.Sleep(backoff(base, try, s.jitterState.Add(1)))
+		}
+		if err = s.saveOnce(fingerprint, snap); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// backoff is base<<(try-1) plus a jitter in [0, base/2], derived from a
+// SplitMix64 step of the store's advancing jitter stream — deterministic
+// per process history, no global randomness.
+func backoff(base time.Duration, try int, jitterStep uint64) time.Duration {
+	d := base << (try - 1)
+	return d + time.Duration(rng.SplitMix64(jitterStep)%uint64(base/2+1))
+}
+
+// saveOnce performs one locked read-compare-write attempt.
+func (s *Store) saveOnce(fingerprint string, snap *renewal.Snapshot) error {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
 	// Serializing the whole read-compare-write against concurrent savers is
@@ -127,6 +195,9 @@ func (s *Store) saveLocked(fingerprint string, snap *renewal.Snapshot) error {
 	path := filepath.Join(s.dir, fileName(fingerprint, snap))
 	if old, err := s.loadFile(path); err == nil && old.Snapshot.SweptTo >= snap.SweptTo {
 		return nil
+	}
+	if err := fault.Inject(fault.SiteStoreSave); err != nil {
+		return fmt.Errorf("sweepstore: %w", err)
 	}
 	data := encode(fingerprint, snap)
 	tmp, err := os.CreateTemp(s.dir, "tmp-*"+fileExt+".partial")
@@ -151,9 +222,12 @@ func (s *Store) saveLocked(fingerprint string, snap *renewal.Snapshot) error {
 }
 
 // LoadAll decodes every intact record in the store. Files that fail the
-// integrity checks are skipped (and counted in Stats().Rejects): one
-// corrupted record must not block a server start, it just costs that law a
-// cold sweep. Only directory-level I/O failures return an error.
+// integrity checks are quarantined — renamed to .bad and counted in
+// Stats().Quarantined as well as Rejects — so one corrupted record costs
+// that law a single cold sweep instead of a silent reject on every restart
+// forever; the renamed file stays on disk for post-mortem. Transient read
+// failures (and injected store.load faults) skip the file without
+// quarantining it. Only directory-level I/O failures return an error.
 func (s *Store) LoadAll() ([]Record, error) {
 	names, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -164,9 +238,13 @@ func (s *Store) LoadAll() ([]Record, error) {
 		if de.IsDir() || !strings.HasSuffix(de.Name(), fileExt) || strings.HasSuffix(de.Name(), ".partial") {
 			continue
 		}
-		rec, err := s.loadFile(filepath.Join(s.dir, de.Name()))
+		path := filepath.Join(s.dir, de.Name())
+		rec, err := s.loadFile(path)
 		if err != nil {
 			s.rejects.Add(1)
+			if isIntegrityError(err) {
+				s.quarantine(path)
+			}
 			continue
 		}
 		s.loads.Add(1)
@@ -175,14 +253,36 @@ func (s *Store) LoadAll() ([]Record, error) {
 	return out, nil
 }
 
+// integrityError marks a decode/format failure, as opposed to a transient
+// read failure: only integrity failures quarantine the file.
+type integrityError struct{ err error }
+
+func (e integrityError) Error() string { return e.err.Error() }
+func (e integrityError) Unwrap() error { return e.err }
+
+func isIntegrityError(err error) bool {
+	var ie integrityError
+	return errors.As(err, &ie)
+}
+
+// quarantine renames a corrupt record aside so it is never re-read.
+func (s *Store) quarantine(path string) {
+	if os.Rename(path, path+badExt) == nil {
+		s.quarantined.Add(1)
+	}
+}
+
 // loadFile reads and verifies one record file.
 func (s *Store) loadFile(path string) (Record, error) {
+	if err := fault.Inject(fault.SiteStoreLoad); err != nil {
+		return Record{}, fmt.Errorf("sweepstore: %w", err)
+	}
 	fi, err := os.Stat(path)
 	if err != nil {
 		return Record{}, err
 	}
 	if fi.Size() > maxFileSize {
-		return Record{}, fmt.Errorf("sweepstore: %s exceeds size bound", path)
+		return Record{}, integrityError{fmt.Errorf("sweepstore: %s exceeds size bound", path)}
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -190,7 +290,7 @@ func (s *Store) loadFile(path string) (Record, error) {
 	}
 	rec, err := decode(data)
 	if err != nil {
-		return Record{}, fmt.Errorf("sweepstore: %s: %w", path, err)
+		return Record{}, integrityError{fmt.Errorf("sweepstore: %s: %w", path, err)}
 	}
 	return rec, nil
 }

@@ -5,9 +5,11 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/cnfet/yieldlab/internal/device"
 	"github.com/cnfet/yieldlab/internal/dist"
+	"github.com/cnfet/yieldlab/internal/fault"
 	"github.com/cnfet/yieldlab/internal/renewal"
 )
 
@@ -251,5 +253,136 @@ func TestRestoreRejectsGridMismatch(t *testing.T) {
 	}
 	if err := other.Restore(snap); err == nil {
 		t.Fatal("restore across grids must fail")
+	}
+}
+
+// Corrupt files are quarantined to .bad on load: renamed aside (so they are
+// never re-rejected on later restarts) and counted in Stats().Quarantined.
+func TestCorruptFileQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := renewal.NewSweepCache()
+	buildModel(t, cache, dist.Exponential{Rate: 0.25}, 40)
+	if _, err := PersistCache(store, cache); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*"+fileExt))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want 1 store file, got %v (err %v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // break the CRC
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := fresh.LoadAll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("LoadAll = %d recs, %v", len(recs), err)
+	}
+	if st := fresh.Stats(); st.Rejects != 1 || st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 reject, 1 quarantined", st)
+	}
+	if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still in place: %v", err)
+	}
+	if _, err := os.Stat(files[0] + badExt); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	// A second start sees a clean directory: no repeat reject.
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := again.LoadAll(); err != nil || len(recs) != 0 {
+		t.Fatalf("second LoadAll = %d recs, %v", len(recs), err)
+	}
+	if st := again.Stats(); st.Rejects != 0 || st.Quarantined != 0 {
+		t.Fatalf("second-start stats = %+v, want all zero", st)
+	}
+}
+
+// An injected transient read failure skips the record without quarantining
+// the (intact) file.
+func TestInjectedLoadFaultDoesNotQuarantine(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := renewal.NewSweepCache()
+	buildModel(t, cache, dist.Exponential{Rate: 0.25}, 40)
+	if _, err := PersistCache(store, cache); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Enable(fault.SiteStoreLoad, "error(io)@nth=1"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := store.LoadAll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("LoadAll under fault = %d recs, %v", len(recs), err)
+	}
+	if st := store.Stats(); st.Quarantined != 0 || st.Rejects != 1 {
+		t.Fatalf("stats = %+v: transient failure must reject without quarantine", st)
+	}
+	recs, err = store.LoadAll()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("LoadAll after fault = %d recs, %v", len(recs), err)
+	}
+}
+
+// With SetRetry armed, a transient save failure is retried and succeeds;
+// without it, the first failure surfaces.
+func TestSaveRetriesTransientFailures(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := renewal.NewSweepCache()
+	law := dist.Exponential{Rate: 0.25}
+	m := buildModel(t, cache, law, 40)
+	fp, _ := dist.Fingerprint(law)
+
+	// Unarmed: one try, the injected error surfaces.
+	if err := fault.Enable(fault.SiteStoreSave, "error(disk)@nth=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(fp, m.Snapshot()); err == nil {
+		t.Fatal("unretried transient failure did not surface")
+	}
+
+	// Armed: the first two attempts fail, the third lands.
+	if err := fault.Enable(fault.SiteStoreSave, "error(disk)@times=2"); err != nil {
+		t.Fatal(err)
+	}
+	store.SetRetry(3, time.Millisecond)
+	if err := store.Save(fp, m.Snapshot()); err != nil {
+		t.Fatalf("retried save failed: %v", err)
+	}
+	if st := store.Stats(); st.Saves != 1 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 1 save after 2 retries", st)
+	}
+
+	// A permanent failure still surfaces after the attempts are spent.
+	if err := fault.Enable(fault.SiteStoreSave, "error(dead disk)"); err != nil {
+		t.Fatal(err)
+	}
+	narrow := m.Snapshot()
+	if err := store.Save(fp+"x", narrow); err == nil {
+		t.Fatal("permanent failure did not surface")
 	}
 }

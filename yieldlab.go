@@ -55,6 +55,7 @@ import (
 	"github.com/cnfet/yieldlab/internal/device"
 	"github.com/cnfet/yieldlab/internal/dist"
 	"github.com/cnfet/yieldlab/internal/experiments"
+	"github.com/cnfet/yieldlab/internal/jobstore"
 	"github.com/cnfet/yieldlab/internal/noisemargin"
 	"github.com/cnfet/yieldlab/internal/query"
 	"github.com/cnfet/yieldlab/internal/renewal"
@@ -180,6 +181,10 @@ type (
 	// SweepStore persists swept renewal tables on disk, so a restarted
 	// process warms its sweep cache without recomputing convolutions.
 	SweepStore = sweepstore.Store
+	// JobStore journals the server's async jobs on disk, so a restarted
+	// server re-adopts them and resumes interrupted sweeps from their last
+	// checkpointed results.
+	JobStore = jobstore.Store
 	// ServerConfig configures the HTTP yield service.
 	ServerConfig = server.Config
 	// Server is the long-lived HTTP/JSON yield service.
@@ -188,6 +193,9 @@ type (
 
 // OpenSweepStore opens (creating if needed) a sweep-table store directory.
 func OpenSweepStore(dir string) (*SweepStore, error) { return sweepstore.Open(dir) }
+
+// OpenJobStore opens (creating if needed) a job-journal directory.
+func OpenJobStore(dir string) (*JobStore, error) { return jobstore.Open(dir) }
 
 // WarmSweepCache loads every intact stored record into the cache, returning
 // how many were restored.
